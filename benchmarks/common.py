@@ -1,0 +1,89 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one table or figure of the paper at the
+scaled bench profile (DESIGN.md).  Each bench:
+
+- runs its sweep exactly once under ``benchmark.pedantic`` (the timing
+  pytest-benchmark reports is the wall time of regenerating the artifact),
+- prints the same rows/series the paper reports, and
+- appends the table to ``bench_results/<experiment>.txt`` so
+  EXPERIMENTS.md can quote the measured numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import RunResult, run_experiment
+from repro.experiments.sweeps import format_table
+from repro.sim.units import MILLISECOND
+
+#: Simulated time per run; long enough for several init-RTO recoveries.
+BENCH_SIM_TIME_NS = 120 * MILLISECOND
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "bench_results")
+
+
+def bench_config(system: str, transport: str = "dctcp", *,
+                 bg_load: float = 0.15,
+                 incast_load: Optional[float] = None,
+                 sim_time_ns: int = BENCH_SIM_TIME_NS,
+                 **kwargs) -> ExperimentConfig:
+    return ExperimentConfig.bench_profile(
+        system=system, transport=transport, bg_load=bg_load,
+        incast_load=incast_load, sim_time_ns=sim_time_ns, **kwargs)
+
+
+def run_row(config: ExperimentConfig,
+            extra: Optional[Dict[str, object]] = None) -> Dict[str, object]:
+    result = run_experiment(config)
+    row = result.row()
+    if extra:
+        row.update(extra)
+    return row
+
+
+def incast_loads_for_totals(bg_load: float,
+                            totals: Sequence[float]) -> List[float]:
+    """Incast fractions that raise the aggregate load to each total."""
+    return [round(total - bg_load, 4) for total in totals
+            if total > bg_load]
+
+
+def emit(experiment_id: str, title: str, rows: List[Dict[str, object]],
+         columns: Optional[Sequence[str]] = None,
+         notes: str = "") -> None:
+    """Print the regenerated table and persist it for EXPERIMENTS.md."""
+    table = format_table(rows, columns)
+    banner = f"=== {experiment_id}: {title} ==="
+    print()
+    print(banner)
+    if notes:
+        print(notes)
+    print(table)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{experiment_id}.txt")
+    with open(path, "w") as handle:
+        handle.write(banner + "\n")
+        if notes:
+            handle.write(notes + "\n")
+        handle.write(table + "\n")
+
+
+def once(benchmark, fn: Callable[[], object]):
+    """Run a sweep exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def percentiles_row(samples: List[float], label: Dict[str, object],
+                    points=(25, 50, 75, 90, 99)) -> Dict[str, object]:
+    """Summarize a CDF as fixed percentiles (stable, table-friendly)."""
+    from repro.metrics.stats import percentile
+
+    row = dict(label)
+    for point in points:
+        row[f"p{point}"] = percentile(samples, point)
+    row["n"] = len(samples)
+    return row

@@ -1,0 +1,7 @@
+"""Benchmark-suite configuration."""
+
+import sys
+import os
+
+# Allow `import common` / `from benchmarks import common` from bench files.
+sys.path.insert(0, os.path.dirname(__file__))

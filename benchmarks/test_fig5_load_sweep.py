@@ -1,0 +1,52 @@
+"""Figure 5: mean/p99 FCT and QCT vs aggregate load at three background
+levels (25%, 50%, 75%), all systems on DCTCP.
+
+Expected shape: Vertigo delivers steadily low QCT at every load; DIBS is
+competitive while the background is light but degrades fast as load
+grows; ECMP and DRILL suffer at the last hop regardless.
+"""
+
+import pytest
+
+from common import bench_config, emit, incast_loads_for_totals, once, run_row
+
+SYSTEMS = ["ecmp", "drill", "dibs", "vertigo"]
+SWEEP = {
+    0.25: [0.45, 0.65, 0.85],
+    0.50: [0.60, 0.75, 0.90],
+    0.75: [0.80, 0.90],
+}
+
+COLUMNS = ["system", "bg_pct", "load_pct", "mean_fct_s", "p99_fct_s",
+           "mean_qct_s", "p99_qct_s", "query_completion_pct", "drop_pct"]
+
+
+@pytest.mark.parametrize("bg_load", sorted(SWEEP))
+def test_fig5_load_sweep(benchmark, bg_load):
+    def sweep():
+        rows = []
+        for system in SYSTEMS:
+            for incast in incast_loads_for_totals(bg_load, SWEEP[bg_load]):
+                row = run_row(bench_config(system, "dctcp",
+                                           bg_load=bg_load,
+                                           incast_load=incast),
+                              extra={"bg_pct": round(100 * bg_load)})
+                rows.append(row)
+        return rows
+
+    rows = once(benchmark, sweep)
+    emit(f"fig5_bg{round(100 * bg_load)}",
+         f"load sweep at {round(100 * bg_load)}% background (DCTCP)",
+         rows, COLUMNS,
+         notes="paper Fig. 5: Vertigo steady across loads; DIBS degrades "
+               "as load grows.")
+    # Vertigo's mean QCT beats ECMP and DRILL at the highest swept load.
+    top = max(SWEEP[bg_load])
+    by_system = {row["system"]: row for row in rows
+                 if row["load_pct"] == round(100 * top)}
+    assert by_system["vertigo"]["mean_qct_s"] \
+        < by_system["ecmp"]["mean_qct_s"]
+    assert by_system["vertigo"]["mean_qct_s"] \
+        < by_system["drill"]["mean_qct_s"]
+    assert by_system["vertigo"]["query_completion_pct"] \
+        >= by_system["dibs"]["query_completion_pct"]

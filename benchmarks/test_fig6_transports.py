@@ -1,0 +1,75 @@
+"""Figure 6: mean QCT across transports (TCP, DCTCP, Swift) plus the QCT
+distribution at 75% load.
+
+Expected shape (paper §4.2): replacing DCTCP with TCP collapses DIBS
+(which relies on DCTCP and disables fast retransmit) while Vertigo stays
+efficient under all three transports; Swift alone helps every system,
+and Vertigo+Swift is the best combination with near-zero drops.
+"""
+
+from common import (
+    bench_config,
+    emit,
+    incast_loads_for_totals,
+    once,
+    percentiles_row,
+)
+from repro.experiments.runner import run_experiment
+
+SERIES = [
+    ("dibs", "reno"), ("dibs", "dctcp"), ("dibs", "swift"),
+    ("vertigo", "reno"), ("vertigo", "dctcp"), ("vertigo", "swift"),
+    ("ecmp", "swift"),
+]
+BG = 0.25
+TOTALS = [0.45, 0.65, 0.85]
+
+COLUMNS = ["system", "transport", "load_pct", "mean_qct_s",
+           "query_completion_pct", "drop_pct"]
+CDF_COLUMNS = ["system", "transport", "p25", "p50", "p75", "p90", "p99",
+               "n"]
+
+
+def test_fig6_transport_sweep(benchmark):
+    def sweep():
+        rows, cdf_rows = [], []
+        for system, transport in SERIES:
+            for incast in incast_loads_for_totals(BG, TOTALS):
+                result = run_experiment(bench_config(
+                    system, transport, bg_load=BG, incast_load=incast))
+                rows.append(result.row())
+                if round(100 * (BG + incast)) == 85:
+                    cdf_rows.append(percentiles_row(
+                        result.metrics.qct_samples_s(),
+                        {"system": system, "transport": transport}))
+        return rows, cdf_rows
+
+    rows, cdf_rows = once(benchmark, sweep)
+    emit("fig6a", "mean QCT across transports (25% bg + incast sweep)",
+         rows, COLUMNS,
+         notes="paper Fig. 6a: DIBS+TCP up to 10x worse than DIBS+DCTCP; "
+               "Vertigo efficient under every transport.")
+    emit("fig6b", "QCT distribution at 85% load (percentiles of Fig. 6b "
+         "CDF)", cdf_rows, CDF_COLUMNS)
+
+    def metric(system, transport, load, key="mean_qct_s"):
+        return next(r[key] for r in rows
+                    if r["system"] == system and r["transport"] == transport
+                    and r["load_pct"] == load)
+
+    # Mean QCT over *completed* queries understates a collapsed system
+    # (it only finishes the easy queries), so the load-bearing checks
+    # use completion percentages.
+    completion = "query_completion_pct"
+    # DIBS depends on DCTCP: TCP Reno makes it clearly worse at load.
+    assert metric("dibs", "reno", 65, completion) \
+        < metric("dibs", "dctcp", 65, completion)
+    # Vertigo is transport-agnostic: within a small factor across stacks.
+    vertigo_qcts = [metric("vertigo", t, 85) for t in ("reno", "dctcp")]
+    assert max(vertigo_qcts) < 3 * min(vertigo_qcts)
+    vertigo_comps = [metric("vertigo", t, 85, completion)
+                     for t in ("reno", "dctcp", "swift")]
+    assert max(vertigo_comps) - min(vertigo_comps) < 20
+    # Vertigo+TCP outperforms DIBS+DCTCP (paper's headline for Fig. 6).
+    assert metric("vertigo", "reno", 85, completion) \
+        > metric("dibs", "dctcp", 85, completion)

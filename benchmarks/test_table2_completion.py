@@ -1,0 +1,43 @@
+"""Table 2: flow and query completion ratios at 75% load (50% background
++ 25% incast) under DCTCP and Swift.
+
+Expected shape: completion ordering ECMP < DIBS < Vertigo under DCTCP;
+with Swift everyone improves markedly and the gaps compress, but Vertigo
+stays on top.
+"""
+
+from common import bench_config, emit, once, run_row
+
+SYSTEMS = ["ecmp", "dibs", "vertigo"]
+COLUMNS = ["transport", "system", "flow_completion_pct",
+           "query_completion_pct", "drop_pct"]
+
+
+def test_table2_completion_ratios(benchmark):
+    def sweep():
+        rows = []
+        for transport in ("dctcp", "swift"):
+            for system in SYSTEMS:
+                rows.append(run_row(bench_config(system, transport,
+                                                 bg_load=0.50,
+                                                 incast_load=0.25)))
+        return rows
+
+    rows = once(benchmark, sweep)
+    emit("table2", "flow/query completion at 75% load", rows, COLUMNS,
+         notes="paper Table 2: DCTCP row 78.5/96.1/98.0 flow-completion "
+               "and 28.4/71.3/93.0 query-completion for ECMP/DIBS/Vertigo; "
+               "Swift lifts all three.")
+
+    def row(transport, system):
+        return next(r for r in rows if r["transport"] == transport
+                    and r["system"] == system)
+
+    for transport in ("dctcp", "swift"):
+        assert row(transport, "vertigo")["query_completion_pct"] \
+            >= row(transport, "dibs")["query_completion_pct"]
+        assert row(transport, "vertigo")["query_completion_pct"] \
+            > row(transport, "ecmp")["query_completion_pct"]
+    # Swift lifts ECMP's completion dramatically (paper: 28% -> 80%).
+    assert row("swift", "ecmp")["flow_completion_pct"] \
+        > row("dctcp", "ecmp")["flow_completion_pct"]

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Quickstart: compare Vertigo against ECMP under a bursty workload.
+
+Runs two scaled-down leaf-spine simulations (see DESIGN.md for the
+scaling rationale) with 50% background traffic plus 25% incast load —
+the paper's Table 2 operating point — and prints the headline metrics.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro import ExperimentConfig, run_experiment
+from repro.experiments.sweeps import format_table
+
+
+def main() -> None:
+    rows = []
+    for system in ("ecmp", "vertigo"):
+        config = ExperimentConfig.bench_profile(
+            system=system,
+            transport="dctcp",
+            bg_load=0.50,
+            incast_load=0.25,
+        )
+        print(f"running {system} (~32 hosts, 200 ms simulated) ...")
+        result = run_experiment(config)
+        rows.append(result.row())
+
+    columns = ["system", "transport", "load_pct", "mean_fct_s",
+               "mean_qct_s", "flow_completion_pct", "query_completion_pct",
+               "drop_pct", "deflections"]
+    print()
+    print(format_table(rows, columns))
+    print()
+    ecmp, vertigo = rows
+    speedup = ecmp["mean_qct_s"] / vertigo["mean_qct_s"]
+    print(f"Vertigo mean query completion time is {speedup:.1f}x lower "
+          f"than ECMP at {ecmp['load_pct']}% load.")
+
+
+if __name__ == "__main__":
+    main()

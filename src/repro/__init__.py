@@ -1,0 +1,52 @@
+"""repro — reproduction of "Burst-tolerant Datacenter Networks with
+Vertigo" (Abdous, Sharafzadeh, Ghorbani — CoNEXT 2021).
+
+A from-scratch, pure-Python packet-level datacenter network simulator
+implementing the Vertigo selective-deflection design, its baselines
+(ECMP, DRILL, DIBS), three transports (TCP Reno, DCTCP, Swift), leaf-spine
+and fat-tree topologies, and the paper's workloads and experiments.
+
+Quickstart::
+
+    from repro import ExperimentConfig, run_experiment
+
+    config = ExperimentConfig.bench_profile(system="vertigo",
+                                            transport="dctcp",
+                                            bg_load=0.5, incast_load=0.25)
+    result = run_experiment(config)
+    print(result.row())
+"""
+
+from repro.experiments import (
+    ExperimentConfig,
+    RunResult,
+    SystemConfig,
+    WorkloadConfig,
+    run_experiment,
+)
+from repro.core import (
+    FlowInfo,
+    MarkingComponent,
+    MarkingDiscipline,
+    OrderingComponent,
+)
+from repro.forwarding import VertigoSwitchParams
+from repro.net import FatTree, LeafSpine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ExperimentConfig",
+    "SystemConfig",
+    "WorkloadConfig",
+    "RunResult",
+    "run_experiment",
+    "FlowInfo",
+    "MarkingComponent",
+    "MarkingDiscipline",
+    "OrderingComponent",
+    "VertigoSwitchParams",
+    "LeafSpine",
+    "FatTree",
+    "__version__",
+]

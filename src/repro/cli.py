@@ -1,0 +1,89 @@
+"""Command-line interface: run one simulation and print its summary.
+
+Usage::
+
+    python -m repro --system vertigo --transport dctcp \
+        --bg-load 0.5 --incast-load 0.25 --sim-ms 200
+
+All knobs default to the scaled bench profile (DESIGN.md); pass
+``--paper-scale`` for the full 320-server configuration (slow!).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.config import ALL_SYSTEMS, ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.experiments.sweeps import format_table
+from repro.net.topology import FatTree
+from repro.sim.units import MILLISECOND
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Vertigo (CoNEXT 2021) reproduction: run one "
+                    "simulated datacenter experiment.")
+    parser.add_argument("--system", choices=ALL_SYSTEMS,
+                        default="vertigo")
+    parser.add_argument("--transport",
+                        choices=["reno", "tcp", "dctcp", "swift"],
+                        default="dctcp")
+    parser.add_argument("--bg-load", type=float, default=0.5,
+                        help="background load fraction (default 0.5)")
+    parser.add_argument("--incast-load", type=float, default=0.25,
+                        help="incast load fraction (default 0.25)")
+    parser.add_argument("--incast-scale", type=int, default=12,
+                        help="servers per incast query")
+    parser.add_argument("--incast-flow-bytes", type=int, default=10_000)
+    parser.add_argument("--sim-ms", type=int, default=200,
+                        help="simulated milliseconds")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--fat-tree", type=int, metavar="K", default=None,
+                        help="use a fat-tree of degree K instead of "
+                             "leaf-spine")
+    parser.add_argument("--paper-scale", action="store_true",
+                        help="full 320-server paper topology (very slow)")
+    return parser
+
+
+def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    if args.paper_scale:
+        config = ExperimentConfig.paper_profile(
+            system=args.system, transport=args.transport,
+            bg_load=args.bg_load, incast_load=args.incast_load,
+            incast_scale=args.incast_scale,
+            incast_flow_bytes=args.incast_flow_bytes)
+        config.seed = args.seed
+        return config
+    topology = FatTree(args.fat_tree) if args.fat_tree else None
+    return ExperimentConfig.bench_profile(
+        system=args.system, transport=args.transport,
+        bg_load=args.bg_load, incast_load=args.incast_load,
+        incast_scale=args.incast_scale,
+        incast_flow_bytes=args.incast_flow_bytes,
+        sim_time_ns=args.sim_ms * MILLISECOND,
+        topology=topology, seed=args.seed)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    config = config_from_args(args)
+    print(f"running {args.system}+{args.transport} on "
+          f"{config.topology!r} for {config.sim_time_ns / 1e6:.0f} ms "
+          f"simulated ...", file=sys.stderr)
+    result = run_experiment(config)
+    print(format_table([result.row()]))
+    drops = result.metrics.counters.drops
+    if drops:
+        print("\ndrops by reason: "
+              + ", ".join(f"{reason}={count}"
+                          for reason, count in sorted(drops.items())))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

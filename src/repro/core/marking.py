@@ -1,0 +1,145 @@
+"""Vertigo TX-path marking component (paper §3.1).
+
+Deployed as a transport-independent extension to the sender's network
+stack.  For every outgoing data packet it:
+
+1. detects re-transmissions with a cuckoo filter over a hash of the packet
+   header (fast path), backed by an exact per-flow table (the "flow info
+   hash table" of Figure 2);
+2. computes the packet's rank — under **SRPT**, the flow's remaining bytes
+   including this packet (which requires the application-provided flow
+   size); under **LAS** (flow aging, §4.3), the bytes the flow has already
+   sent — and writes it into the 32-bit RFS field;
+3. applies *boosting* to re-transmissions: ``retcnt`` is incremented and
+   the RFS field right-rotated so the packet's priority rises, reversibly
+   (§3.1.2).
+
+ACKs and other non-data packets are tagged with their wire size, i.e.
+treated like the final packet of a minimal flow, so the reverse path is
+never starved by deflection.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.cuckoo import CuckooFilter
+from repro.core.flowinfo import (
+    FLOW_ID3_MASK,
+    FLOWINFO_WIRE_BYTES,
+    RETCNT_MAX,
+    RFS_MASK,
+    FlowInfo,
+    MarkingDiscipline,
+    boost_rfs,
+)
+from repro.net.packet import Packet, PacketKind
+
+
+@dataclass
+class _FlowMarkState:
+    size: Optional[int]          # advance flow size (None under LAS)
+    remaining: Optional[int]     # SRPT bookkeeping
+    attained: int = 0            # LAS bookkeeping
+    retcnt: Dict[int, int] = field(default_factory=dict)  # seq -> retcnt
+
+
+class MarkingComponent:
+    """Per-host sender-side packet marker."""
+
+    def __init__(self, discipline: MarkingDiscipline = MarkingDiscipline.SRPT,
+                 boost_factor: int = 2, boosting: bool = True,
+                 filter_capacity: int = 1 << 15, seed: int = 0) -> None:
+        self.discipline = discipline
+        self.boost_factor = boost_factor
+        self.boosting = boosting
+        self._filter = CuckooFilter(capacity=filter_capacity, seed=seed)
+        self._flows: Dict[int, _FlowMarkState] = {}
+        self.packets_marked = 0
+        self.retransmissions_detected = 0
+
+    # -- flow lifecycle ---------------------------------------------------------
+
+    def register_flow(self, flow_id: int, size: Optional[int]) -> None:
+        """Register a new outgoing flow.
+
+        ``size`` is the application-provided flow size; it may be ``None``
+        under LAS, which needs no advance knowledge.
+        """
+        if self.discipline is MarkingDiscipline.SRPT and size is None:
+            raise ValueError("SRPT marking requires the flow size upfront")
+        self._flows[flow_id] = _FlowMarkState(size=size, remaining=size)
+
+    def flow_done(self, flow_id: int) -> None:
+        """Drop per-flow state and evict its entries from the filter."""
+        state = self._flows.pop(flow_id, None)
+        if state is None:
+            return
+        for seq in state.retcnt:
+            self._filter.delete(self._header_hash(flow_id, seq))
+
+    # -- marking -------------------------------------------------------------------
+
+    @staticmethod
+    def _header_hash(flow_id: int, seq: int) -> int:
+        """CRC over the invariant header fields (paper: CRC + cuckoo)."""
+        return zlib.crc32(f"{flow_id}:{seq}".encode())
+
+    def mark(self, packet: Packet) -> None:
+        """Attach the flowinfo header (and its 7 wire bytes, Figure 3)."""
+        if packet.kind is not PacketKind.DATA:
+            packet.flowinfo = FlowInfo(rfs=min(packet.wire_bytes, RFS_MASK))
+            packet.wire_bytes += FLOWINFO_WIRE_BYTES
+            return
+        state = self._flows.get(packet.flow_id)
+        if state is None:
+            # Unregistered flow (defensive): rank by wire size.
+            packet.flowinfo = FlowInfo(rfs=min(packet.wire_bytes, RFS_MASK))
+            packet.wire_bytes += FLOWINFO_WIRE_BYTES
+            return
+        self.packets_marked += 1
+        packet.wire_bytes += FLOWINFO_WIRE_BYTES
+        key = self._header_hash(packet.flow_id, packet.seq)
+        # Fast-path membership via the cuckoo filter; false positives are
+        # resolved against the exact table.
+        if self._filter.contains(key) and packet.seq in state.retcnt:
+            self._mark_retransmission(packet, state)
+        else:
+            self._mark_first_transmission(packet, state, key)
+
+    def _original_rank(self, packet: Packet, state: _FlowMarkState) -> int:
+        if self.discipline is MarkingDiscipline.SRPT:
+            return min(state.size - packet.seq, RFS_MASK)
+        return min(packet.seq, RFS_MASK)  # LAS: attained service
+
+    def _is_first_packet(self, packet: Packet) -> bool:
+        return packet.seq == 0
+
+    def _mark_first_transmission(self, packet: Packet,
+                                 state: _FlowMarkState, key: int) -> None:
+        state.retcnt[packet.seq] = 0
+        self._filter.insert(key)
+        if state.remaining is not None:
+            state.remaining = max(0, state.remaining - packet.payload)
+        state.attained = max(state.attained, packet.end_seq)
+        packet.flowinfo = FlowInfo(
+            rfs=self._original_rank(packet, state),
+            retcnt=0,
+            flow_id3=packet.flow_id & FLOW_ID3_MASK,
+            first=self._is_first_packet(packet))
+
+    def _mark_retransmission(self, packet: Packet,
+                             state: _FlowMarkState) -> None:
+        self.retransmissions_detected += 1
+        retcnt = min(state.retcnt[packet.seq] + 1, RETCNT_MAX)
+        state.retcnt[packet.seq] = retcnt
+        original = self._original_rank(packet, state)
+        wire_rfs = boost_rfs(original, retcnt, self.boost_factor) \
+            if self.boosting else original
+        packet.flowinfo = FlowInfo(
+            rfs=wire_rfs,
+            retcnt=retcnt if self.boosting else 0,
+            flow_id3=packet.flow_id & FLOW_ID3_MASK,
+            first=self._is_first_packet(packet))

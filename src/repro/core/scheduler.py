@@ -1,0 +1,106 @@
+"""PIEO-style rank queue (paper §4.4, appendix A.3).
+
+Vertigo assumes switch output queues that dequeue in ascending rank order
+(SRPT over the RFS field) *and* support two operations the paper adds to
+PIEO [Shrivastav, SIGCOMM'19]:
+
+1. extracting the current maximum-rank element ("extraction from the tail
+   of the priority list") — used when an arriving packet with a smaller
+   RFS displaces a buffered one, and
+2. enqueueing a displaced packet to a different queue (deflection), which
+   is an ordinary enqueue here plus the extra dequeue above.
+
+``RankQueue`` implements this with a pair of lazy-deletion heaps, giving
+O(log n) push, pop-min and pop-max, with exact byte accounting.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Generic, List, Optional, Tuple, TypeVar
+
+T = TypeVar("T")
+
+_counter = itertools.count()
+
+
+class RankQueue(Generic[T]):
+    """Double-ended priority queue keyed by an integer rank.
+
+    Ties are broken FIFO (earlier insertions dequeue first from the min
+    end, and are *kept* longest at the max end), matching a hardware
+    priority list that appends equal-rank packets behind their peers.
+    """
+
+    def __init__(self) -> None:
+        self._min_heap: List[Tuple[int, int, T]] = []
+        self._max_heap: List[Tuple[int, int, T]] = []
+        self._dead: set[int] = set()
+        self._len = 0
+
+    def push(self, rank: int, item: T) -> None:
+        seq = next(_counter)
+        heapq.heappush(self._min_heap, (rank, seq, item))
+        # Negate seq as well so that among equal ranks the *latest* arrival
+        # is at the top of the max heap (FIFO survivors at the min end).
+        heapq.heappush(self._max_heap, (-rank, -seq, item))
+        self._len += 1
+
+    def _prune_min(self) -> None:
+        heap = self._min_heap
+        while heap and heap[0][1] in self._dead:
+            self._dead.remove(heap[0][1])
+            heapq.heappop(heap)
+
+    def _prune_max(self) -> None:
+        heap = self._max_heap
+        while heap and -heap[0][1] in self._dead:
+            self._dead.remove(-heap[0][1])
+            heapq.heappop(heap)
+
+    def peek_min(self) -> Optional[Tuple[int, T]]:
+        self._prune_min()
+        if not self._min_heap:
+            return None
+        rank, _, item = self._min_heap[0]
+        return rank, item
+
+    def peek_max(self) -> Optional[Tuple[int, T]]:
+        self._prune_max()
+        if not self._max_heap:
+            return None
+        neg_rank, _, item = self._max_heap[0]
+        return -neg_rank, item
+
+    def pop_min(self) -> Tuple[int, T]:
+        self._prune_min()
+        if not self._min_heap:
+            raise IndexError("pop_min from empty RankQueue")
+        rank, seq, item = heapq.heappop(self._min_heap)
+        self._dead.add(seq)
+        self._len -= 1
+        return rank, item
+
+    def pop_max(self) -> Tuple[int, T]:
+        self._prune_max()
+        if not self._max_heap:
+            raise IndexError("pop_max from empty RankQueue")
+        neg_rank, neg_seq, item = heapq.heappop(self._max_heap)
+        self._dead.add(-neg_seq)
+        self._len -= 1
+        return -neg_rank, item
+
+    def __len__(self) -> int:
+        return self._len
+
+    def __bool__(self) -> bool:
+        return self._len > 0
+
+    def items(self) -> List[Tuple[int, T]]:
+        """Snapshot of live (rank, item) pairs in ascending rank order."""
+        self._prune_min()
+        live = [(rank, seq, item) for rank, seq, item in self._min_heap
+                if seq not in self._dead]
+        live.sort(key=lambda entry: (entry[0], entry[1]))
+        return [(rank, item) for rank, _, item in live]

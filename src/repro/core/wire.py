@@ -1,0 +1,81 @@
+"""Wire encodings of the flowinfo header (paper Figure 3).
+
+The paper proposes two encodings:
+
+- **Layer-3 header** — flowinfo encapsulates the IP header behind its own
+  ethertype: ``RFS (32) | retcnt (4) | flow-id (3) | FLAGS (1) |
+  ethertype (16)`` = 7 bytes of extra wire overhead.
+- **IPv4 option** — a standard option TLV inside the IPv4 header:
+  ``type (8) | length (8) | RFS (32) | retcnt (4) | flow-id (3) |
+  FLAGS (1) | END (8)`` = 8 bytes of overhead.
+
+The simulator carries :class:`~repro.core.flowinfo.FlowInfo` as a parsed
+object, but these functions are the byte-exact encode/decode pair a host
+prototype needs, and the round-trip is property-tested.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.core.flowinfo import FlowInfo
+
+#: Ethertype claimed by the L3 flowinfo encapsulation (experimental range).
+FLOWINFO_ETHERTYPE = 0x88B5
+#: IPv4 option type for the flowinfo option (copied=1, class=2, number=20).
+FLOWINFO_OPTION_TYPE = 0xD4
+#: IPv4 end-of-options marker.
+IPV4_OPTION_END = 0x00
+
+L3_HEADER_LEN = 7
+IPV4_OPTION_LEN = 8
+
+
+def _pack_fields(info: FlowInfo) -> int:
+    """retcnt(4) | flow_id3(3) | first(1) packed into one byte."""
+    return (info.retcnt << 4) | (info.flow_id3 << 1) | int(info.first)
+
+
+def _unpack_fields(byte: int) -> tuple:
+    return (byte >> 4) & 0xF, (byte >> 1) & 0x7, bool(byte & 0x1)
+
+
+def encode_l3(info: FlowInfo, inner_ethertype: int = 0x0800) -> bytes:
+    """Encode as the 7-byte layer-3 encapsulation header."""
+    return struct.pack("!IBH", info.rfs, _pack_fields(info),
+                       inner_ethertype)
+
+
+def decode_l3(data: bytes) -> tuple:
+    """Decode a layer-3 flowinfo header; returns (FlowInfo, ethertype)."""
+    if len(data) < L3_HEADER_LEN:
+        raise ValueError(f"flowinfo L3 header needs {L3_HEADER_LEN} bytes, "
+                         f"got {len(data)}")
+    rfs, fields, ethertype = struct.unpack("!IBH", data[:L3_HEADER_LEN])
+    retcnt, flow_id3, first = _unpack_fields(fields)
+    return FlowInfo(rfs=rfs, retcnt=retcnt, flow_id3=flow_id3,
+                    first=first), ethertype
+
+
+def encode_ipv4_option(info: FlowInfo) -> bytes:
+    """Encode as an 8-byte IPv4 option (type, length, payload, END)."""
+    return struct.pack("!BBIBB", FLOWINFO_OPTION_TYPE, IPV4_OPTION_LEN,
+                       info.rfs, _pack_fields(info), IPV4_OPTION_END)
+
+
+def decode_ipv4_option(data: bytes) -> FlowInfo:
+    """Decode the flowinfo IPv4 option."""
+    if len(data) < IPV4_OPTION_LEN:
+        raise ValueError(
+            f"flowinfo option needs {IPV4_OPTION_LEN} bytes, "
+            f"got {len(data)}")
+    opt_type, length, rfs, fields, end = struct.unpack(
+        "!BBIBB", data[:IPV4_OPTION_LEN])
+    if opt_type != FLOWINFO_OPTION_TYPE:
+        raise ValueError(f"not a flowinfo option: type 0x{opt_type:02x}")
+    if length != IPV4_OPTION_LEN:
+        raise ValueError(f"bad flowinfo option length {length}")
+    if end != IPV4_OPTION_END:
+        raise ValueError("flowinfo option not END-terminated")
+    retcnt, flow_id3, first = _unpack_fields(fields)
+    return FlowInfo(rfs=rfs, retcnt=retcnt, flow_id3=flow_id3, first=first)

@@ -1,0 +1,32 @@
+"""Experiment harness: configuration, runner, and sweep helpers.
+
+This is the top-level entry point most users want::
+
+    from repro.experiments import ExperimentConfig, run_experiment
+
+    config = ExperimentConfig.bench_profile(system="vertigo",
+                                            transport="dctcp",
+                                            bg_load=0.5, incast_load=0.25)
+    result = run_experiment(config)
+    print(result.metrics.mean_qct_s())
+"""
+
+from repro.experiments.config import (
+    BENCH_SYSTEMS,
+    ExperimentConfig,
+    SystemConfig,
+    WorkloadConfig,
+)
+from repro.experiments.runner import RunResult, run_experiment
+from repro.experiments.sweeps import load_sweep, sweep
+
+__all__ = [
+    "ExperimentConfig",
+    "SystemConfig",
+    "WorkloadConfig",
+    "BENCH_SYSTEMS",
+    "RunResult",
+    "run_experiment",
+    "sweep",
+    "load_sweep",
+]

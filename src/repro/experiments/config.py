@@ -1,0 +1,191 @@
+"""Experiment configuration.
+
+An :class:`ExperimentConfig` fully determines a simulation run: topology,
+physical parameters, the evaluated system (forwarding + host stack), the
+transport, the workload mix, the simulated duration, and the seed.
+
+Two constructors cover the common cases:
+
+- :meth:`ExperimentConfig.paper_profile` — the paper's full-scale setup
+  (320-server leaf-spine, 10/40 Gbps, 300 KB buffers, 5 s).  Constructible
+  and correct, but far too slow to sweep in pure Python.
+- :meth:`ExperimentConfig.bench_profile` — the scaled instance used by the
+  benchmark harness (32 hosts, 200/160 Mbps, buffers, RTOs and ECN
+  thresholds scaled together), preserving the dimensionless ratios that
+  drive the paper's comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.core.flowinfo import MarkingDiscipline
+from repro.core.ordering import DEFAULT_TIMEOUT_NS
+from repro.forwarding.vertigo import VertigoSwitchParams
+from repro.net.builder import NetworkParams
+from repro.net.topology import (
+    FatTree,
+    LeafSpine,
+    Topology,
+    paper_leaf_spine,
+)
+from repro.sim.units import MILLISECOND, SECOND, gbps, kb, mbps, usecs
+from repro.transport.base import TransportConfig
+
+#: The four systems the paper compares (§4.1).
+BENCH_SYSTEMS = ("ecmp", "drill", "dibs", "vertigo")
+#: Additional baselines from the paper's related work (§5), implemented
+#: as extensions: flowlet switching (LetFlow) and packet bounce (PABO).
+EXTRA_SYSTEMS = ("letflow", "pabo")
+ALL_SYSTEMS = BENCH_SYSTEMS + EXTRA_SYSTEMS
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """The L2/L3 system under evaluation."""
+
+    name: str = "vertigo"
+    vertigo_switch: VertigoSwitchParams = field(
+        default_factory=VertigoSwitchParams)
+    marking_discipline: MarkingDiscipline = MarkingDiscipline.SRPT
+    boost_factor: int = 2
+    boosting: bool = True
+    ordering: bool = True
+    #: None = auto-derive from the network (time to traverse it with
+    #: almost-full buffers, §3.3.2 — 360 us at the paper's full scale).
+    ordering_timeout_ns: Optional[int] = None
+    drill_d: int = 2
+    drill_m: int = 1
+    dibs_max_deflections: int = 32
+    #: None = auto-derive (a couple of base RTTs).
+    letflow_gap_ns: Optional[int] = None
+    pabo_max_bounces: int = 16
+
+    def __post_init__(self) -> None:
+        if self.name not in ALL_SYSTEMS:
+            raise ValueError(f"unknown system {self.name!r}; "
+                             f"choose from {ALL_SYSTEMS}")
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Traffic mix: background load plus incast queries."""
+
+    bg_load: float = 0.15
+    bg_distribution: str = "cache_follower"
+    bg_size_cap: Optional[int] = None   # truncate the size tail (benches)
+    incast_load: Optional[float] = None  # fraction of host bandwidth, or...
+    incast_qps: Optional[float] = None   # ...an explicit query rate
+    incast_scale: int = 100
+    incast_flow_bytes: int = 40_000
+
+    def __post_init__(self) -> None:
+        if self.incast_load is not None and self.incast_qps is not None:
+            raise ValueError("give either incast_load or incast_qps")
+
+    @property
+    def total_load(self) -> float:
+        return self.bg_load + (self.incast_load or 0.0)
+
+
+@dataclass
+class ExperimentConfig:
+    """Everything needed to reproduce one simulation run."""
+
+    topology: Topology = field(default_factory=paper_leaf_spine)
+    network: NetworkParams = field(default_factory=NetworkParams)
+    system: SystemConfig = field(default_factory=SystemConfig)
+    transport_name: str = "dctcp"
+    transport: TransportConfig = field(default_factory=TransportConfig)
+    workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+    sim_time_ns: int = 5 * SECOND
+    seed: int = 1
+    #: Attach a deflection-aware telemetry monitor sampling at this
+    #: interval (§5 extension); None disables monitoring.
+    telemetry_interval_ns: Optional[int] = None
+
+    # -- profiles --------------------------------------------------------------------
+
+    @classmethod
+    def paper_profile(cls, system: str = "vertigo",
+                      transport: str = "dctcp", **workload_kwargs
+                      ) -> "ExperimentConfig":
+        """The paper's full-scale leaf-spine setup (§4.1)."""
+        return cls(
+            topology=paper_leaf_spine(),
+            network=NetworkParams(host_rate_bps=gbps(10),
+                                  fabric_rate_bps=gbps(40),
+                                  buffer_bytes=kb(300)),
+            system=SystemConfig(name=system),
+            transport_name=transport,
+            workload=WorkloadConfig(**workload_kwargs),
+            sim_time_ns=5 * SECOND,
+        )
+
+    @classmethod
+    def bench_profile(cls, system: str = "vertigo", transport: str = "dctcp",
+                      *, bg_load: float = 0.15,
+                      incast_load: Optional[float] = None,
+                      incast_qps: Optional[float] = None,
+                      incast_scale: int = 12,
+                      incast_flow_bytes: int = 10_000,
+                      bg_distribution: str = "cache_follower",
+                      sim_time_ns: int = 200 * MILLISECOND,
+                      topology: Optional[Topology] = None,
+                      seed: int = 1, **system_kwargs) -> "ExperimentConfig":
+        """Scaled-down instance for laptop-speed sweeps (see DESIGN.md).
+
+        32 hosts at 200 Mbps access / 160 Mbps fabric with 30 KB port
+        buffers (leaf uplink capacity 0.8x leaf host capacity,
+        approximating the paper's 2.5:1 oversubscription: the fabric, not the access
+        links, runs out first under load — the regime where random
+        deflection breaks).  The dimensionless ratios that drive the paper's
+        comparisons are preserved: the incast first-window burst
+        oversubscribes the victim port buffer ~4× (paper: 100 flows x 10
+        IW-packets vs a 205-packet buffer ~= 4.9×), the per-query service
+        floor is a small fraction of the simulated window, the
+        buffer is a handful of BDPs, minRTO is tens of base RTTs, and the
+        simulated interval is a few initial-RTO periods (paper: 5 s vs
+        1 s init RTO), so RTO-stall dynamics show at the same relative
+        magnitude.  RTO constants are scaled accordingly (init 40 ms,
+        min 10 ms); the background size tail is capped at 200 KB (8 ms of
+        service) so the simulated interval covers many multiples of the
+        largest flow's service time, as the paper's 5 s window does.
+        """
+        if topology is None:
+            topology = LeafSpine(n_spines=4, n_leaves=8, hosts_per_leaf=4)
+        return cls(
+            topology=topology,
+            network=NetworkParams(host_rate_bps=mbps(200),
+                                  fabric_rate_bps=mbps(160),
+                                  host_link_delay_ns=usecs(1),
+                                  fabric_link_delay_ns=usecs(1),
+                                  buffer_bytes=kb(30)),
+            system=SystemConfig(name=system, **system_kwargs),
+            transport_name=transport,
+            transport=TransportConfig(init_rto_ns=40 * MILLISECOND,
+                                      min_rto_ns=10 * MILLISECOND),
+            workload=WorkloadConfig(bg_load=bg_load,
+                                    bg_distribution=bg_distribution,
+                                    bg_size_cap=200_000,
+                                    incast_load=incast_load,
+                                    incast_qps=incast_qps,
+                                    incast_scale=incast_scale,
+                                    incast_flow_bytes=incast_flow_bytes),
+            sim_time_ns=sim_time_ns,
+            seed=seed,
+        )
+
+    @classmethod
+    def bench_fat_tree(cls, system: str = "vertigo",
+                       transport: str = "dctcp", k: int = 4,
+                       **kwargs) -> "ExperimentConfig":
+        """Scaled fat-tree variant of the bench profile."""
+        return cls.bench_profile(system=system, transport=transport,
+                                 topology=FatTree(k), **kwargs)
+
+    def with_system(self, system: str, **system_kwargs) -> "ExperimentConfig":
+        clone = replace(self)
+        clone.system = SystemConfig(name=system, **system_kwargs)
+        return clone

@@ -1,0 +1,255 @@
+"""Experiment runner: config → wired network → workload → results.
+
+``run_experiment`` is deterministic for a given :class:`ExperimentConfig`
+(all randomness flows from the seed through named RNG streams).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, replace
+from typing import Dict, Optional
+
+from repro.core.flowinfo import MarkingDiscipline
+from repro.experiments.config import ExperimentConfig
+from repro.forwarding.dibs import DibsPolicy
+from repro.forwarding.drill import DrillPolicy
+from repro.forwarding.ecmp import EcmpPolicy
+from repro.forwarding.letflow import LetFlowPolicy
+from repro.forwarding.pabo import PaboPolicy
+from repro.forwarding.vertigo import VertigoPolicy
+from repro.host.host import HostStackConfig
+from repro.metrics.collector import MetricsCollector
+from repro.net.builder import Network, NetworkParams, build_network
+from repro.sim.engine import Engine
+from repro.sim.rng import RngRegistry
+from repro.transport import TRANSPORTS
+from repro.transport.base import TransportConfig
+from repro.transport.dctcp import DEFAULT_MARKING_THRESHOLD_PKTS
+from repro.workload.background import BackgroundTraffic
+from repro.workload.distributions import get_distribution
+from repro.workload.incast import IncastApp, qps_for_load
+
+
+def derive_ecn_threshold(params: NetworkParams, mss: int) -> int:
+    """DCTCP marking threshold K, scaled to the buffer when it is shallow.
+
+    The paper uses K = 65 packets with 300 KB (≈205-packet) buffers, i.e.
+    K ≈ 32 % of the buffer; scaled-down buffers keep the same fraction.
+    """
+    paper_k = DEFAULT_MARKING_THRESHOLD_PKTS * mss
+    scaled_k = max(2 * mss, round(params.buffer_bytes * 0.317))
+    return min(paper_k, scaled_k)
+
+
+def derive_swift_target(params: NetworkParams, mss: int) -> int:
+    """Swift's target delay: base RTT plus a queueing allowance.
+
+    The allowance is sized relative to the network, not in absolute
+    microseconds: roughly half a bottleneck-port buffer of queueing is
+    tolerated before flows back off, mirroring Swift's fabric target of
+    a few tens of packets at datacenter line rates.
+    """
+    base = params.base_rtt_ns(mss + 40)
+    host_drain = params.buffer_bytes * 8 * 1_000_000_000 \
+        // params.host_rate_bps
+    return base + round(0.6 * host_drain)
+
+
+def derive_ordering_timeout(params: NetworkParams) -> int:
+    """Paper §3.3.2: time to traverse the network with almost-full buffers.
+
+    One host-rate port drain plus two fabric-rate port drains.
+    """
+    host_drain = params.buffer_bytes * 8 * 1_000_000_000 \
+        // params.host_rate_bps
+    fabric_drain = params.buffer_bytes * 8 * 1_000_000_000 \
+        // params.fabric_rate_bps
+    return host_drain + 2 * fabric_drain
+
+
+def _policy_factory(config: ExperimentConfig):
+    system = config.system
+    name = system.name
+    if name == "ecmp":
+        return lambda switch, rng: EcmpPolicy(switch, rng)
+    if name == "drill":
+        return lambda switch, rng: DrillPolicy(switch, rng, d=system.drill_d,
+                                               m=system.drill_m)
+    if name == "dibs":
+        return lambda switch, rng: DibsPolicy(
+            switch, rng, max_deflections=system.dibs_max_deflections)
+    if name == "vertigo":
+        return lambda switch, rng: VertigoPolicy(switch, rng,
+                                                 system.vertigo_switch)
+    if name == "letflow":
+        gap = system.letflow_gap_ns \
+            if system.letflow_gap_ns is not None \
+            else 2 * config.network.base_rtt_ns()
+        return lambda switch, rng: LetFlowPolicy(switch, rng,
+                                                 flowlet_gap_ns=gap)
+    if name == "pabo":
+        return lambda switch, rng: PaboPolicy(
+            switch, rng, max_bounces=system.pabo_max_bounces)
+    raise ValueError(f"unknown system {name!r}")
+
+
+def resolve_transport_config(config: ExperimentConfig) -> TransportConfig:
+    """Fill the auto-derived transport knobs for this topology/system."""
+    transport = config.transport
+    if config.transport_name == "swift":
+        if transport.swift_target_delay_ns <= 0:
+            transport = transport.with_overrides(
+                swift_target_delay_ns=derive_swift_target(config.network,
+                                                          transport.mss))
+        # Swift keeps fine-grained retransmission timers (a few target
+        # delays), not TCP's 10 ms-class minRTO (paper [47]).
+        fine_rto = max(1_000_000, 4 * transport.swift_target_delay_ns)
+        if transport.min_rto_ns > fine_rto:
+            transport = transport.with_overrides(
+                min_rto_ns=fine_rto, init_rto_ns=min(transport.init_rto_ns,
+                                                     8 * fine_rto))
+    if config.system.name == "dibs" and transport.fast_retransmit:
+        # DIBS disables fast retransmit to tolerate deflection reordering
+        # (paper §2), leaving RTOs as the only loss recovery.
+        transport = transport.with_overrides(fast_retransmit=False)
+    return transport
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulation run."""
+
+    config: ExperimentConfig
+    metrics: MetricsCollector
+    network: Network
+    engine: Engine
+    bg_flows_generated: int
+    queries_issued: int
+    telemetry: Optional[object] = None
+
+    @property
+    def duration_ns(self) -> int:
+        return self.config.sim_time_ns
+
+    def row(self) -> Dict[str, float]:
+        """One summary row — the quantities the paper's figures report."""
+        metrics = self.metrics
+        counters = metrics.counters
+        return {
+            "system": self.config.system.name,
+            "transport": self.config.transport_name,
+            "load_pct": round(100 * self.config.workload.total_load),
+            "mean_fct_s": metrics.mean_fct_s(),
+            "p99_fct_s": metrics.p99_fct_s(),
+            "mean_qct_s": metrics.mean_qct_s(),
+            "p99_qct_s": metrics.p99_qct_s(),
+            "flow_completion_pct": metrics.flow_completion_pct(),
+            "query_completion_pct": metrics.query_completion_pct(),
+            "goodput_gbps": metrics.goodput_bps(self.duration_ns) / 1e9,
+            "drop_pct": 100 * counters.drop_rate(),
+            "deflections": counters.deflections,
+            "mean_hops": counters.mean_hops(),
+            "reordered": counters.reordered_arrivals,
+            "retransmissions": counters.retransmissions,
+        }
+
+
+def run_experiment(config: ExperimentConfig) -> RunResult:
+    """Build, run, and measure one simulation."""
+    engine = Engine()
+    rng = RngRegistry(config.seed)
+    metrics = MetricsCollector()
+    system = config.system
+
+    transport = resolve_transport_config(config)
+    network_params = config.network
+    if config.transport_name == "dctcp" \
+            and network_params.ecn_threshold_bytes is None:
+        network_params = replace(
+            network_params,
+            ecn_threshold_bytes=derive_ecn_threshold(network_params,
+                                                     transport.mss))
+
+    is_vertigo = system.name == "vertigo"
+    ordering_timeout = system.ordering_timeout_ns \
+        if system.ordering_timeout_ns is not None \
+        else derive_ordering_timeout(network_params)
+    stack = HostStackConfig(
+        transport_cls=TRANSPORTS[config.transport_name],
+        transport=transport,
+        vertigo_marking=is_vertigo,
+        vertigo_ordering=is_vertigo and system.ordering,
+        marking_discipline=system.marking_discipline,
+        boost_factor=system.boost_factor,
+        boosting=system.boosting,
+        ordering_timeout_ns=ordering_timeout,
+    )
+
+    use_ranked = is_vertigo and system.vertigo_switch.scheduling
+    network = build_network(engine, config.topology, network_params,
+                            metrics, stack, _policy_factory(config), rng,
+                            use_ranked_queues=use_ranked)
+
+    flow_ids = itertools.count(1)
+
+    def open_flow(src: int, dst: int, size: int, is_incast: bool = False,
+                  query_id: Optional[int] = None) -> None:
+        flow_id = next(flow_ids)
+        metrics.flow_started(flow_id, src, dst, size, engine.now,
+                             is_incast=is_incast, query_id=query_id)
+        src_host = network.hosts[src]
+        dst_host = network.hosts[dst]
+
+        def on_rx_done() -> None:
+            if dst_host.ordering is not None:
+                dst_host.ordering.flow_done(flow_id)
+
+        dst_host.open_receiver(flow_id, src, size, on_complete=on_rx_done)
+        sender = src_host.open_sender(
+            flow_id, dst, size,
+            on_complete=lambda: src_host.sender_done(flow_id))
+        sender.start()
+
+    workload = config.workload
+    background = None
+    if workload.bg_load > 0:
+        sizes = get_distribution(workload.bg_distribution,
+                                 truncate_at=workload.bg_size_cap)
+        background = BackgroundTraffic(
+            engine, open_flow, config.topology.n_hosts,
+            network_params.host_rate_bps, workload.bg_load, sizes,
+            rng.stream("background"), until_ns=config.sim_time_ns)
+        background.start()
+
+    incast = None
+    qps = workload.incast_qps
+    if qps is None and workload.incast_load:
+        qps = qps_for_load(workload.incast_load, config.topology.n_hosts,
+                           network_params.host_rate_bps,
+                           workload.incast_scale,
+                           workload.incast_flow_bytes)
+    if qps:
+        incast = IncastApp(engine, open_flow, metrics,
+                           config.topology.n_hosts, qps,
+                           workload.incast_scale,
+                           workload.incast_flow_bytes,
+                           rng.stream("incast"),
+                           until_ns=config.sim_time_ns)
+        incast.start()
+
+    telemetry = None
+    if config.telemetry_interval_ns:
+        from repro.telemetry import TelemetryMonitor
+
+        telemetry = TelemetryMonitor(
+            engine, network, interval_ns=config.telemetry_interval_ns)
+        telemetry.start()
+
+    engine.run(until=config.sim_time_ns)
+
+    return RunResult(
+        config=config, metrics=metrics, network=network, engine=engine,
+        bg_flows_generated=background.flows_generated if background else 0,
+        queries_issued=incast.queries_issued if incast else 0,
+        telemetry=telemetry)

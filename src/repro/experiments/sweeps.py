@@ -1,0 +1,47 @@
+"""Parameter sweep helpers used by the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import RunResult, run_experiment
+
+ConfigFactory = Callable[..., ExperimentConfig]
+
+
+def sweep(configs: Iterable[ExperimentConfig]) -> List[RunResult]:
+    """Run a sequence of configurations, in order."""
+    return [run_experiment(config) for config in configs]
+
+
+def load_sweep(make_config: Callable[[float], ExperimentConfig],
+               loads: Sequence[float]) -> List[RunResult]:
+    """Run ``make_config(load)`` for each offered load fraction."""
+    return [run_experiment(make_config(load)) for load in loads]
+
+
+def format_table(rows: List[Dict[str, object]],
+                 columns: Optional[Sequence[str]] = None) -> str:
+    """Render result rows as an aligned text table for bench output."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    rendered = [[fmt(row.get(column, "")) for column in columns]
+                for row in rows]
+    widths = [max(len(column), *(len(line[i]) for line in rendered))
+              for i, column in enumerate(columns)]
+    header = "  ".join(column.ljust(widths[i])
+                       for i, column in enumerate(columns))
+    divider = "  ".join("-" * width for width in widths)
+    body = "\n".join("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(line))
+                     for line in rendered)
+    return "\n".join([header, divider, body])

@@ -1,0 +1,57 @@
+"""Forwarding policy interface and shared selection helpers."""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import List, Sequence
+
+from repro.net.packet import Packet
+from repro.net.switch import Switch
+
+
+class ForwardingPolicy(abc.ABC):
+    """Per-switch packet routing and overflow handling.
+
+    Subclasses set :attr:`uses_ranked_queues` when they require RFS-sorted
+    output queues (the network builder picks the queue flavour from it).
+    """
+
+    uses_ranked_queues = False
+
+    def __init__(self, switch: Switch, rng: random.Random) -> None:
+        self.switch = switch
+        self.rng = rng
+
+    @abc.abstractmethod
+    def route(self, packet: Packet, in_port: int) -> None:
+        """Decide the fate of ``packet`` arriving on ``in_port``."""
+
+    # -- shared helpers --------------------------------------------------------
+
+    def least_loaded(self, candidates: Sequence[int]) -> int:
+        """Port with the lowest queue occupancy; ties by port order."""
+        switch = self.switch
+        return min(candidates, key=lambda port: (switch.queue_bytes(port),
+                                                 port))
+
+    def sample_two(self, candidates: Sequence[int]) -> List[int]:
+        """Sample up to two distinct candidates uniformly at random."""
+        if len(candidates) <= 2:
+            return list(candidates)
+        return self.rng.sample(candidates, 2)
+
+    def power_of_n_choice(self, candidates: Sequence[int], n: int) -> int:
+        """Power-of-``n``-choices: sample ``n`` ports, take the least loaded.
+
+        ``n = 1`` degenerates to uniformly random selection.
+        """
+        if not candidates:
+            raise ValueError("no candidate ports")
+        if len(candidates) == 1:
+            return candidates[0]
+        if n <= 1:
+            return self.rng.choice(list(candidates))
+        sampled = candidates if len(candidates) <= n \
+            else self.rng.sample(list(candidates), n)
+        return self.least_loaded(sampled)

@@ -1,0 +1,53 @@
+"""DRILL (Ghorbani et al., SIGCOMM 2017): micro load balancing.
+
+DRILL(d, m) makes an independent decision for *every packet*: it samples
+``d`` random candidate output queues plus the ``m`` queues remembered as
+least-loaded from the previous decision, and forwards to the least loaded
+of the sampled set.  The default deployed configuration is DRILL(2, 1).
+Overflow still tail-drops — DRILL balances load but does not deflect,
+which is why it cannot absorb last-hop incast (paper §4.2).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Tuple
+
+from repro.forwarding.base import ForwardingPolicy
+from repro.net.packet import Packet
+from repro.net.switch import Switch
+
+
+class DrillPolicy(ForwardingPolicy):
+    """DRILL(d, m) per-packet load-aware forwarding."""
+
+    def __init__(self, switch: Switch, rng: random.Random, *,
+                 d: int = 2, m: int = 1) -> None:
+        super().__init__(switch, rng)
+        if d < 1 or m < 0:
+            raise ValueError("DRILL requires d >= 1 and m >= 0")
+        self.d = d
+        self.m = m
+        # Memory of previously-best ports, per candidate group (one group
+        # per destination prefix; here, per FIB candidate tuple).
+        self._memory: Dict[Tuple[int, ...], Tuple[int, ...]] = {}
+
+    def route(self, packet: Packet, in_port: int) -> None:
+        candidates = self.switch.candidates(packet.dst)
+        if len(candidates) == 1:
+            port = candidates[0]
+        else:
+            sampled = set(self._memory.get(candidates, ()))
+            pool = list(candidates)
+            picks = min(self.d, len(pool))
+            sampled.update(self.rng.sample(pool, picks))
+            port = self.least_loaded(sorted(sampled))
+            if self.m:
+                ordered = sorted(
+                    sampled,
+                    key=lambda p: (self.switch.queue_bytes(p), p))
+                self._memory[candidates] = tuple(ordered[:self.m])
+        if self.switch.ports[port].fits(packet):
+            self.switch.enqueue(port, packet)
+        else:
+            self.switch.drop(packet, "overflow")

@@ -1,0 +1,38 @@
+"""ECMP: flow-hash multipath with tail drop.
+
+The most widely deployed datacenter forwarding scheme and the paper's
+plainest baseline.  All packets of a flow hash to the same shortest-path
+candidate (no reordering), and a full output queue simply drops the
+arriving packet.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+
+from repro.forwarding.base import ForwardingPolicy
+from repro.net.packet import Packet
+from repro.net.switch import Switch
+
+
+class EcmpPolicy(ForwardingPolicy):
+    """Per-flow static hashing over equal-cost next hops."""
+
+    def __init__(self, switch: Switch, rng: random.Random) -> None:
+        super().__init__(switch, rng)
+        # Per-switch salt decorrelates hash decisions across hops and
+        # avoids ECMP polarization, as deployed switches do.
+        self._salt = rng.getrandbits(32)
+
+    def _hash_choice(self, packet: Packet, n: int) -> int:
+        key = f"{packet.flow_id}:{packet.src}:{packet.dst}:{self._salt}"
+        return zlib.crc32(key.encode()) % n
+
+    def route(self, packet: Packet, in_port: int) -> None:
+        candidates = self.switch.candidates(packet.dst)
+        port = candidates[self._hash_choice(packet, len(candidates))]
+        if self.switch.ports[port].fits(packet):
+            self.switch.enqueue(port, packet)
+        else:
+            self.switch.drop(packet, "overflow")

@@ -1,0 +1,5 @@
+"""End hosts: NIC, stack composition (transport + Vertigo shims)."""
+
+from repro.host.host import Host, HostStackConfig
+
+__all__ = ["Host", "HostStackConfig"]

@@ -1,0 +1,149 @@
+"""End-host model.
+
+A :class:`Host` owns a NIC (an output port with a drop-tail queue feeding
+its access link), an optional Vertigo marking component on the TX path, an
+optional Vertigo ordering component on the RX path, and the per-flow
+transport endpoints.  Packet flow mirrors Figure 2 of the paper:
+
+TX:  transport → marking component → NIC queue → wire
+RX:  wire → ordering component → transport → application callback
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Type
+
+from repro.core.flowinfo import MarkingDiscipline
+from repro.core.marking import MarkingComponent
+from repro.core.ordering import DEFAULT_TIMEOUT_NS, OrderingComponent
+from repro.metrics.collector import MetricsCollector
+from repro.net.link import Link, Port
+from repro.net.packet import Packet, PacketKind
+from repro.net.queues import DropTailQueue
+from repro.sim.engine import Engine
+from repro.transport.base import FlowReceiver, FlowSender, TransportConfig
+
+
+@dataclass(frozen=True)
+class HostStackConfig:
+    """Host networking-stack composition."""
+
+    transport_cls: Type[FlowSender]
+    transport: TransportConfig = field(default_factory=TransportConfig)
+    vertigo_marking: bool = False
+    vertigo_ordering: bool = False
+    marking_discipline: MarkingDiscipline = MarkingDiscipline.SRPT
+    boost_factor: int = 2
+    boosting: bool = True
+    ordering_timeout_ns: int = DEFAULT_TIMEOUT_NS
+    nic_buffer_bytes: int = 512 * 1024
+
+
+class Host:
+    """A server with a single access link."""
+
+    def __init__(self, engine: Engine, host_id: int,
+                 stack: HostStackConfig, metrics: MetricsCollector) -> None:
+        self.engine = engine
+        self.host_id = host_id
+        self.name = f"host{host_id}"
+        self.stack = stack
+        self.metrics = metrics
+
+        self.nic = Port(engine, self, 0,
+                        DropTailQueue(stack.nic_buffer_bytes))
+        self.marking: Optional[MarkingComponent] = None
+        if stack.vertigo_marking:
+            self.marking = MarkingComponent(
+                discipline=stack.marking_discipline,
+                boost_factor=stack.boost_factor,
+                boosting=stack.boosting,
+                seed=host_id)
+        self.ordering: Optional[OrderingComponent] = None
+        if stack.vertigo_ordering:
+            self.ordering = OrderingComponent(
+                engine, self._deliver_data,
+                timeout_ns=stack.ordering_timeout_ns,
+                boost_factor=stack.boost_factor,
+                discipline=stack.marking_discipline)
+
+        self.senders: Dict[int, FlowSender] = {}
+        self.receivers: Dict[int, FlowReceiver] = {}
+
+    # -- wiring ---------------------------------------------------------------------
+
+    def attach(self, link: Link) -> None:
+        """Attach the host's egress link (towards its ToR)."""
+        self.nic.attach(link)
+
+    # -- TX path ---------------------------------------------------------------------
+
+    def open_sender(self, flow_id: int, dst: int, size: int,
+                    on_complete: Optional[Callable[[], None]] = None
+                    ) -> FlowSender:
+        """Create (but do not start) the sending endpoint of a flow."""
+        sender = self.stack.transport_cls(
+            self.engine, self, flow_id, dst, size, self.stack.transport,
+            self.metrics, on_complete=on_complete)
+        self.senders[flow_id] = sender
+        if self.marking is not None:
+            size_hint = None \
+                if self.stack.marking_discipline is MarkingDiscipline.LAS \
+                else size
+            self.marking.register_flow(flow_id, size_hint)
+        return sender
+
+    def sender_done(self, flow_id: int) -> None:
+        self.senders.pop(flow_id, None)
+        if self.marking is not None:
+            self.marking.flow_done(flow_id)
+
+    def send_packet(self, packet: Packet) -> None:
+        """Stack egress: mark (Vertigo) and enqueue on the NIC."""
+        if self.marking is not None:
+            self.marking.mark(packet)
+        if self.nic.fits(packet):
+            self.nic.enqueue(packet)
+        else:
+            self.metrics.counters.drops["host_nic_overflow"] += 1
+
+    # -- RX path -----------------------------------------------------------------------
+
+    def open_receiver(self, flow_id: int, peer: int, size: int,
+                      on_complete: Optional[Callable[[], None]] = None
+                      ) -> FlowReceiver:
+        """Create the receiving endpoint of a flow destined to this host."""
+        receiver = self.receivers.get(flow_id)
+        if receiver is None:
+            receiver = FlowReceiver(self.engine, self, flow_id, peer, size,
+                                    self.metrics, on_complete=on_complete,
+                                    config=self.stack.transport)
+            self.receivers[flow_id] = receiver
+        return receiver
+
+    def receive(self, packet: Packet, in_port: int) -> None:
+        counters = self.metrics.counters
+        if packet.kind is PacketKind.DATA:
+            counters.delivered += 1
+            counters.hops_delivered += packet.hops
+            receiver = self.receivers.get(packet.flow_id)
+            if (self.ordering is not None and receiver is not None
+                    and not receiver.completed):
+                self.ordering.on_packet(packet)
+            else:
+                # Straggler duplicates of completed flows bypass the
+                # ordering shim so its per-flow state is not re-created.
+                self._deliver_data(packet)
+        else:
+            sender = self.senders.get(packet.flow_id)
+            if sender is not None:
+                sender.on_ack(packet)
+
+    def _deliver_data(self, packet: Packet) -> None:
+        receiver = self.receivers.get(packet.flow_id)
+        if receiver is not None:
+            receiver.on_data(packet)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Host {self.host_id}>"

@@ -1,0 +1,197 @@
+"""Flow, query, and network-level measurement.
+
+One :class:`MetricsCollector` is shared by every component of a simulation.
+Hosts record flow starts/completions and reordering; switches record drops
+and deflections; the incast application records query lifecycles.  The
+collector then exposes the summary statistics the paper reports: FCT, QCT,
+completion percentages, goodput, drop rates.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.metrics.stats import mean, percentile
+from repro.sim.units import SECOND
+
+
+@dataclass
+class NetworkCounters:
+    """Dataplane-wide counters."""
+
+    forwarded: int = 0                # packets enqueued at any switch port
+    delivered: int = 0                # data packets handed to a host stack
+    deflections: int = 0              # deflection decisions taken
+    hops_delivered: int = 0           # sum of hop counts of delivered packets
+    reordered_arrivals: int = 0       # data arrivals below the max seq seen
+    retransmissions: int = 0          # transport re-sends
+    aborted_flows: int = 0            # senders that hit the retry limit
+    drops: Counter = field(default_factory=Counter)  # reason -> count
+
+    @property
+    def total_drops(self) -> int:
+        return sum(self.drops.values())
+
+    def mean_hops(self) -> float:
+        if not self.delivered:
+            return math.nan
+        return self.hops_delivered / self.delivered
+
+    def drop_rate(self) -> float:
+        """Fraction of forwarded packets dropped in the network."""
+        attempts = self.forwarded + self.total_drops
+        return self.total_drops / attempts if attempts else 0.0
+
+
+@dataclass
+class FlowRecord:
+    flow_id: int
+    src: int
+    dst: int
+    size: int
+    start_ns: int
+    end_ns: Optional[int] = None
+    bytes_delivered: int = 0
+    is_incast: bool = False
+    query_id: Optional[int] = None
+    retransmissions: int = 0
+
+    @property
+    def completed(self) -> bool:
+        return self.end_ns is not None
+
+    @property
+    def fct_ns(self) -> Optional[int]:
+        return None if self.end_ns is None else self.end_ns - self.start_ns
+
+
+@dataclass
+class QueryRecord:
+    query_id: int
+    client: int
+    start_ns: int
+    n_flows: int
+    flows_done: int = 0
+    end_ns: Optional[int] = None
+
+    @property
+    def completed(self) -> bool:
+        return self.end_ns is not None
+
+    @property
+    def qct_ns(self) -> Optional[int]:
+        return None if self.end_ns is None else self.end_ns - self.start_ns
+
+
+class MetricsCollector:
+    """Shared sink for all measurements of a single simulation run."""
+
+    def __init__(self) -> None:
+        self.counters = NetworkCounters()
+        self.flows: Dict[int, FlowRecord] = {}
+        self.queries: Dict[int, QueryRecord] = {}
+
+    # -- flow lifecycle ----------------------------------------------------
+
+    def flow_started(self, flow_id: int, src: int, dst: int, size: int,
+                     start_ns: int, *, is_incast: bool = False,
+                     query_id: Optional[int] = None) -> FlowRecord:
+        record = FlowRecord(flow_id=flow_id, src=src, dst=dst, size=size,
+                            start_ns=start_ns, is_incast=is_incast,
+                            query_id=query_id)
+        self.flows[flow_id] = record
+        return record
+
+    def flow_progress(self, flow_id: int, delivered_bytes: int) -> None:
+        self.flows[flow_id].bytes_delivered = delivered_bytes
+
+    def flow_completed(self, flow_id: int, end_ns: int) -> None:
+        record = self.flows.get(flow_id)
+        if record is None or record.end_ns is not None:
+            # Unregistered flows (endpoints used standalone, without the
+            # experiment runner) complete silently.
+            return
+        record.end_ns = end_ns
+        record.bytes_delivered = record.size
+        if record.query_id is not None:
+            query = self.queries[record.query_id]
+            query.flows_done += 1
+            if query.flows_done == query.n_flows and query.end_ns is None:
+                query.end_ns = end_ns
+
+    # -- query lifecycle ----------------------------------------------------
+
+    def query_started(self, query_id: int, client: int, start_ns: int,
+                      n_flows: int) -> QueryRecord:
+        record = QueryRecord(query_id=query_id, client=client,
+                             start_ns=start_ns, n_flows=n_flows)
+        self.queries[query_id] = record
+        return record
+
+    # -- summaries -----------------------------------------------------------
+
+    def _fcts_s(self, *, incast_only: bool = False,
+                background_only: bool = False,
+                max_size: Optional[int] = None,
+                min_size: Optional[int] = None) -> List[float]:
+        values = []
+        for flow in self.flows.values():
+            if not flow.completed:
+                continue
+            if incast_only and not flow.is_incast:
+                continue
+            if background_only and flow.is_incast:
+                continue
+            if max_size is not None and flow.size > max_size:
+                continue
+            if min_size is not None and flow.size < min_size:
+                continue
+            values.append(flow.fct_ns / SECOND)
+        return values
+
+    def mean_fct_s(self, **filters) -> float:
+        return mean(self._fcts_s(**filters))
+
+    def p99_fct_s(self, **filters) -> float:
+        return percentile(self._fcts_s(**filters), 99)
+
+    def fct_samples_s(self, **filters) -> List[float]:
+        return self._fcts_s(**filters)
+
+    def _qcts_s(self) -> List[float]:
+        return [query.qct_ns / SECOND for query in self.queries.values()
+                if query.completed]
+
+    def mean_qct_s(self) -> float:
+        return mean(self._qcts_s())
+
+    def p99_qct_s(self) -> float:
+        return percentile(self._qcts_s(), 99)
+
+    def qct_samples_s(self) -> List[float]:
+        return self._qcts_s()
+
+    def flow_completion_pct(self) -> float:
+        if not self.flows:
+            return math.nan
+        done = sum(1 for flow in self.flows.values() if flow.completed)
+        return 100.0 * done / len(self.flows)
+
+    def query_completion_pct(self) -> float:
+        if not self.queries:
+            return math.nan
+        done = sum(1 for query in self.queries.values() if query.completed)
+        return 100.0 * done / len(self.queries)
+
+    def goodput_bps(self, duration_ns: int, *,
+                    min_size: Optional[int] = None) -> float:
+        """Application-level delivered bytes per second over the run."""
+        if duration_ns <= 0:
+            return math.nan
+        delivered = sum(
+            flow.bytes_delivered for flow in self.flows.values()
+            if min_size is None or flow.size >= min_size)
+        return delivered * 8 * SECOND / duration_ns

@@ -1,0 +1,44 @@
+"""Small statistics helpers used by the metrics collector and benchmarks."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence, Tuple
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean; NaN for an empty input (plots show a gap)."""
+    total = 0.0
+    count = 0
+    for value in values:
+        total += value
+        count += 1
+    return total / count if count else math.nan
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Linear-interpolation percentile (same convention as numpy default).
+
+    ``pct`` is in [0, 100].  NaN for an empty input.
+    """
+    if not 0 <= pct <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {pct}")
+    if not values:
+        return math.nan
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (pct / 100) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    frac = rank - low
+    value = ordered[low] * (1 - frac) + ordered[high] * frac
+    # Float interpolation may overshoot by one ulp; stay in range.
+    return min(max(value, ordered[low]), ordered[high])
+
+
+def cdf_points(values: Sequence[float]) -> List[Tuple[float, float]]:
+    """Empirical CDF as (value, fraction <= value) points."""
+    ordered = sorted(values)
+    n = len(ordered)
+    return [(value, (index + 1) / n) for index, value in enumerate(ordered)]

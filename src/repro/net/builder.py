@@ -1,0 +1,174 @@
+"""Network assembly: topology description → live simulated network.
+
+Creates switches (with the queue flavour and forwarding policy the
+evaluated system requires), hosts (with the stack composition), links in
+both directions, and pre-populates every switch FIB with multipath
+next-hop candidates (paper §3.2 assumes pre-populated forwarding tables).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.host.host import Host, HostStackConfig
+from repro.metrics.collector import MetricsCollector
+from repro.net.link import Link
+from repro.net.queues import DropTailQueue, RankedQueue, SharedBufferPool
+from repro.net.switch import DEFAULT_MAX_HOPS, Switch
+from repro.net.topology import Topology
+from repro.sim.engine import Engine
+from repro.sim.rng import RngRegistry
+from repro.sim.units import gbps, kb, usecs
+
+PolicyFactory = Callable[[Switch, "RngRegistry"], object]
+
+
+@dataclass(frozen=True)
+class NetworkParams:
+    """Physical-layer parameters (paper §4.1 defaults at full scale)."""
+
+    host_rate_bps: int = gbps(10)
+    fabric_rate_bps: int = gbps(40)
+    host_link_delay_ns: int = usecs(1)
+    fabric_link_delay_ns: int = usecs(1)
+    buffer_bytes: int = kb(300)          # per-port buffer capacity
+    ecn_threshold_bytes: Optional[int] = None
+    max_hops: int = DEFAULT_MAX_HOPS
+    #: Failure injection: independent per-delivery loss probability on
+    #: every link (0 = perfect links, the default).
+    link_loss_rate: float = 0.0
+    #: Shared-buffer switches: Dynamic Threshold alpha.  None (default)
+    #: keeps the paper's static per-port buffers; a value turns each
+    #: switch's port buffers into one DT-managed shared pool of
+    #: ``buffer_bytes x n_ports``.
+    shared_buffer_alpha: Optional[float] = None
+
+    def base_rtt_ns(self, mss_wire_bytes: int = 1500) -> int:
+        """Unloaded host-to-host RTT across the fabric (worst case path).
+
+        Two host links and up to four fabric links each way, counting
+        serialization of a full-MSS packet at every hop plus the ACK path.
+        """
+        data_ser = (2 * mss_wire_bytes * 8 * 1_000_000_000
+                    // self.host_rate_bps
+                    + 4 * mss_wire_bytes * 8 * 1_000_000_000
+                    // self.fabric_rate_bps)
+        prop = 2 * (2 * self.host_link_delay_ns
+                    + 4 * self.fabric_link_delay_ns)
+        return data_ser + prop
+
+
+class Network:
+    """A fully wired simulated datacenter network."""
+
+    def __init__(self, engine: Engine, topology: Topology,
+                 params: NetworkParams, metrics: MetricsCollector) -> None:
+        self.engine = engine
+        self.topology = topology
+        self.params = params
+        self.metrics = metrics
+        self.switches: Dict[str, Switch] = {}
+        self.hosts: List[Host] = []
+
+    def host(self, host_id: int) -> Host:
+        return self.hosts[host_id]
+
+    def all_switch_queues(self):
+        for switch in self.switches.values():
+            for port in switch.ports:
+                yield switch.name, port.index, port.queue
+
+
+def build_network(engine: Engine, topology: Topology, params: NetworkParams,
+                  metrics: MetricsCollector, stack: HostStackConfig,
+                  policy_factory: PolicyFactory, rng: RngRegistry,
+                  use_ranked_queues: bool = False) -> Network:
+    """Instantiate and wire the whole network."""
+    network = Network(engine, topology, params, metrics)
+
+    def count_link_loss(packet) -> None:
+        metrics.counters.drops["link_loss"] += 1
+
+    def make_link(rate_bps: int, delay_ns: int, dst, dst_port: int,
+                  name: str) -> Link:
+        if params.link_loss_rate > 0.0:
+            return Link(engine, rate_bps, delay_ns, dst, dst_port,
+                        loss_rate=params.link_loss_rate,
+                        loss_rng=rng.stream(f"linkloss:{name}"),
+                        on_loss=count_link_loss)
+        return Link(engine, rate_bps, delay_ns, dst, dst_port)
+
+    pools: Dict[str, SharedBufferPool] = {}
+
+    def make_queue(switch_name: str):
+        queue_cls = RankedQueue if use_ranked_queues else DropTailQueue
+        pool = None
+        if params.shared_buffer_alpha is not None:
+            pool = pools.get(switch_name)
+            if pool is None:
+                # Start empty; every added port contributes its share.
+                pool = SharedBufferPool(1, alpha=params.shared_buffer_alpha)
+                pool.total_bytes = 0
+                pools[switch_name] = pool
+            pool.expand(params.buffer_bytes)
+        return queue_cls(params.buffer_bytes,
+                         ecn_threshold_bytes=params.ecn_threshold_bytes,
+                         pool=pool)
+
+    for name in topology.switch_names:
+        network.switches[name] = Switch(engine, name, metrics.counters,
+                                        max_hops=params.max_hops)
+
+    for host_id in range(topology.n_hosts):
+        network.hosts.append(Host(engine, host_id, stack, metrics))
+
+    # (switch name, peer key) -> port index, where peer key is a switch
+    # name or a host id.
+    port_of: Dict[Tuple[str, object], int] = {}
+
+    # Host access links.
+    for host_id in range(topology.n_hosts):
+        tor = network.switches[topology.host_tor(host_id)]
+        host = network.hosts[host_id]
+        port = tor.add_port(make_queue(tor.name), faces_switch=False)
+        port_of[(tor.name, host_id)] = port
+        tor.ports[port].attach(make_link(
+            params.host_rate_bps, params.host_link_delay_ns, host, 0,
+            f"{tor.name}->h{host_id}"))
+        host.attach(make_link(
+            params.host_rate_bps, params.host_link_delay_ns, tor, port,
+            f"h{host_id}->{tor.name}"))
+
+    # Fabric links (both directions of each cable).
+    for name_a, name_b in topology.switch_adjacency:
+        switch_a = network.switches[name_a]
+        switch_b = network.switches[name_b]
+        port_a = switch_a.add_port(make_queue(name_a), faces_switch=True)
+        port_b = switch_b.add_port(make_queue(name_b), faces_switch=True)
+        port_of[(name_a, name_b)] = port_a
+        port_of[(name_b, name_a)] = port_b
+        switch_a.ports[port_a].attach(make_link(
+            params.fabric_rate_bps, params.fabric_link_delay_ns,
+            switch_b, port_b, f"{name_a}->{name_b}"))
+        switch_b.ports[port_b].attach(make_link(
+            params.fabric_rate_bps, params.fabric_link_delay_ns,
+            switch_a, port_a, f"{name_b}->{name_a}"))
+
+    # FIBs: expand per-ToR next-hop names into per-host port candidates.
+    next_hops = topology.next_hop_table()
+    for host_id in range(topology.n_hosts):
+        tor_name = topology.host_tor(host_id)
+        for switch in network.switches.values():
+            if switch.name == tor_name:
+                switch.fib[host_id] = (port_of[(tor_name, host_id)],)
+            else:
+                names = next_hops[switch.name][tor_name]
+                switch.fib[host_id] = tuple(
+                    port_of[(switch.name, name)] for name in names)
+
+    for switch in network.switches.values():
+        switch.policy = policy_factory(
+            switch, rng.stream(f"policy:{switch.name}"))
+
+    return network

@@ -1,0 +1,125 @@
+"""Ports and links.
+
+A :class:`Port` owns one output queue and one directed :class:`Link`.
+Transmission is store-and-forward: when the port is idle and its queue is
+non-empty, the head (or minimum-rank) packet is serialized for
+``wire_bytes * 8 / rate`` and then delivered to the peer device after the
+link's propagation delay.  A full-duplex cable between two devices is two
+directed links.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Protocol, Union
+
+from repro.sim.engine import Engine
+from repro.sim.units import transmission_delay_ns
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.queues import DropTailQueue, RankedQueue
+
+    PortQueue = Union[DropTailQueue, RankedQueue]
+
+
+class Device(Protocol):
+    """Anything that can terminate a link (switch or host)."""
+
+    name: str
+
+    def receive(self, packet, in_port: int) -> None: ...
+
+
+class Link:
+    """A directed channel delivering packets to a peer device's input.
+
+    Optional failure injection: with ``loss_rate`` > 0 each delivery is
+    independently corrupted (dropped) with that probability, modelling
+    bit errors or a flaky cable.  Losses are counted via ``on_loss``.
+    """
+
+    __slots__ = ("engine", "rate_bps", "delay_ns", "dst", "dst_port",
+                 "loss_rate", "loss_rng", "on_loss", "losses")
+
+    def __init__(self, engine: Engine, rate_bps: int, delay_ns: int,
+                 dst: Device, dst_port: int, *, loss_rate: float = 0.0,
+                 loss_rng=None, on_loss=None) -> None:
+        if rate_bps <= 0:
+            raise ValueError("link rate must be positive")
+        if delay_ns < 0:
+            raise ValueError("propagation delay cannot be negative")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss rate must be in [0, 1)")
+        if loss_rate > 0.0 and loss_rng is None:
+            raise ValueError("lossy links need a random stream")
+        self.engine = engine
+        self.rate_bps = rate_bps
+        self.delay_ns = delay_ns
+        self.dst = dst
+        self.dst_port = dst_port
+        self.loss_rate = loss_rate
+        self.loss_rng = loss_rng
+        self.on_loss = on_loss
+        self.losses = 0
+
+    def deliver(self, packet) -> None:
+        """Schedule arrival at the peer after the propagation delay."""
+        if self.loss_rate > 0.0 \
+                and self.loss_rng.random() < self.loss_rate:
+            self.losses += 1
+            if self.on_loss is not None:
+                self.on_loss(packet)
+            return
+        self.engine.schedule(self.delay_ns, self.dst.receive, packet,
+                             self.dst_port)
+
+
+class Port:
+    """An output port: queue + attached egress link + transmit loop."""
+
+    __slots__ = ("engine", "owner", "index", "queue", "link", "busy",
+                 "bytes_sent", "packets_sent")
+
+    def __init__(self, engine: Engine, owner: Device, index: int,
+                 queue: "PortQueue") -> None:
+        self.engine = engine
+        self.owner = owner
+        self.index = index
+        self.queue = queue
+        self.link: Optional[Link] = None
+        self.busy = False
+        self.bytes_sent = 0
+        self.packets_sent = 0
+
+    def attach(self, link: Link) -> None:
+        self.link = link
+
+    @property
+    def peer(self) -> Optional[Device]:
+        return self.link.dst if self.link is not None else None
+
+    def enqueue(self, packet) -> None:
+        """Enqueue a packet that is known to fit, and kick the transmitter."""
+        self.queue.push(packet, self.engine.now)
+        self._try_transmit()
+
+    def occupancy_bytes(self) -> int:
+        return self.queue.bytes
+
+    def fits(self, packet) -> bool:
+        return self.queue.fits(packet)
+
+    def _try_transmit(self) -> None:
+        if self.busy or self.link is None or not self.queue:
+            return
+        packet = self.queue.pop(self.engine.now)
+        self.busy = True
+        tx_delay = transmission_delay_ns(packet.wire_bytes,
+                                         self.link.rate_bps)
+        self.engine.schedule(tx_delay, self._tx_done, packet)
+
+    def _tx_done(self, packet) -> None:
+        self.busy = False
+        self.bytes_sent += packet.wire_bytes
+        self.packets_sent += 1
+        self.link.deliver(packet)
+        self._try_transmit()

@@ -1,0 +1,203 @@
+"""Byte-bounded output queues.
+
+Two queue flavours back switch ports:
+
+- :class:`DropTailQueue` — FIFO with optional ECN marking (DCTCP-style
+  instantaneous threshold), used by ECMP / DRILL / DIBS switches.
+- :class:`RankedQueue` — dequeues in ascending RFS order (SRPT) and
+  additionally exposes the tail (largest-RFS) packet for Vertigo's
+  displace-and-deflect operation.  Also supports ECN marking so Vertigo
+  composes with DCTCP.
+
+Both account occupancy in bytes against a fixed capacity (the paper uses
+300 KB per port).  Overflow *policy* — drop, deflect, displace — is decided
+by the forwarding policy in :mod:`repro.forwarding`; the queues only
+report whether a packet fits.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional
+
+from repro.core.scheduler import RankQueue
+from repro.net.packet import Packet
+
+
+@dataclass
+class QueueStats:
+    """Counters accumulated over a queue's lifetime."""
+
+    enqueued: int = 0
+    dequeued: int = 0
+    ecn_marked: int = 0
+    max_bytes: int = 0
+    # Time-weighted occupancy integral (byte·ns) for mean queue depth.
+    occupancy_integral: int = 0
+    last_change_ns: int = 0
+
+    def record_occupancy(self, now_ns: int, bytes_now: int) -> None:
+        self.occupancy_integral += bytes_now * (now_ns - self.last_change_ns)
+        self.last_change_ns = now_ns
+
+
+class SharedBufferPool:
+    """Dynamic Threshold shared-buffer management (Choudhury–Hahne).
+
+    The paper's switches use static per-port buffers; shared-memory
+    switches instead let a port's queue grow up to
+    ``alpha x (free shared memory)``.  The paper defers exploring buffer
+    management (§5) — this pool implements the classic DT policy so the
+    ablation benches can compare both regimes.
+    """
+
+    def __init__(self, total_bytes: int, alpha: float = 1.0) -> None:
+        if total_bytes <= 0:
+            raise ValueError("shared buffer must be positive")
+        if alpha <= 0:
+            raise ValueError("DT alpha must be positive")
+        self.total_bytes = total_bytes
+        self.alpha = alpha
+        self.used_bytes = 0
+
+    @property
+    def free_bytes(self) -> int:
+        return self.total_bytes - self.used_bytes
+
+    def threshold(self) -> float:
+        """Current per-queue occupancy limit."""
+        return self.alpha * self.free_bytes
+
+    def admits(self, queue_bytes: int, packet_bytes: int) -> bool:
+        if self.used_bytes + packet_bytes > self.total_bytes:
+            return False
+        return queue_bytes + packet_bytes <= self.threshold()
+
+    def on_push(self, packet_bytes: int) -> None:
+        self.used_bytes += packet_bytes
+
+    def on_pop(self, packet_bytes: int) -> None:
+        self.used_bytes -= packet_bytes
+
+    def expand(self, extra_bytes: int) -> None:
+        """Grow the pool (used while ports are added at build time)."""
+        self.total_bytes += extra_bytes
+
+
+class _BoundedQueue:
+    """Shared byte accounting and ECN marking for both queue flavours."""
+
+    def __init__(self, capacity_bytes: int,
+                 ecn_threshold_bytes: Optional[int] = None,
+                 pool: Optional[SharedBufferPool] = None) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("queue capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self.ecn_threshold_bytes = ecn_threshold_bytes
+        self.pool = pool
+        self.bytes = 0
+        self.stats = QueueStats()
+
+    def fits(self, packet: Packet) -> bool:
+        if self.pool is not None:
+            return self.pool.admits(self.bytes, packet.wire_bytes)
+        return self.bytes + packet.wire_bytes <= self.capacity_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        if self.pool is not None:
+            return max(0, min(round(self.pool.threshold()) - self.bytes,
+                              self.pool.free_bytes))
+        return self.capacity_bytes - self.bytes
+
+    def _on_push(self, packet: Packet, now_ns: int) -> None:
+        if (self.ecn_threshold_bytes is not None and packet.ecn_capable
+                and self.bytes >= self.ecn_threshold_bytes):
+            packet.ecn_ce = True
+            self.stats.ecn_marked += 1
+        self.stats.record_occupancy(now_ns, self.bytes)
+        self.bytes += packet.wire_bytes
+        if self.pool is not None:
+            self.pool.on_push(packet.wire_bytes)
+        self.stats.enqueued += 1
+        if self.bytes > self.stats.max_bytes:
+            self.stats.max_bytes = self.bytes
+
+    def _on_pop(self, packet: Packet, now_ns: int) -> None:
+        self.stats.record_occupancy(now_ns, self.bytes)
+        self.bytes -= packet.wire_bytes
+        if self.pool is not None:
+            self.pool.on_pop(packet.wire_bytes)
+        self.stats.dequeued += 1
+
+
+class DropTailQueue(_BoundedQueue):
+    """FIFO output queue with optional DCTCP-style ECN marking."""
+
+    def __init__(self, capacity_bytes: int,
+                 ecn_threshold_bytes: Optional[int] = None,
+                 pool: Optional[SharedBufferPool] = None) -> None:
+        super().__init__(capacity_bytes, ecn_threshold_bytes, pool)
+        self._fifo: Deque[Packet] = deque()
+
+    def push(self, packet: Packet, now_ns: int = 0) -> None:
+        if not self.fits(packet):
+            raise OverflowError("push to full DropTailQueue")
+        self._on_push(packet, now_ns)
+        self._fifo.append(packet)
+
+    def pop(self, now_ns: int = 0) -> Packet:
+        packet = self._fifo.popleft()
+        self._on_pop(packet, now_ns)
+        return packet
+
+    def __len__(self) -> int:
+        return len(self._fifo)
+
+    def __bool__(self) -> bool:
+        return bool(self._fifo)
+
+    def packets(self) -> List[Packet]:
+        return list(self._fifo)
+
+
+class RankedQueue(_BoundedQueue):
+    """SRPT output queue ordered by the packets' RFS rank."""
+
+    def __init__(self, capacity_bytes: int,
+                 ecn_threshold_bytes: Optional[int] = None,
+                 pool: Optional[SharedBufferPool] = None) -> None:
+        super().__init__(capacity_bytes, ecn_threshold_bytes, pool)
+        self._ranked: RankQueue[Packet] = RankQueue()
+
+    def push(self, packet: Packet, now_ns: int = 0) -> None:
+        if not self.fits(packet):
+            raise OverflowError("push to full RankedQueue")
+        self._on_push(packet, now_ns)
+        self._ranked.push(packet.rank(), packet)
+
+    def pop(self, now_ns: int = 0) -> Packet:
+        _, packet = self._ranked.pop_min()
+        self._on_pop(packet, now_ns)
+        return packet
+
+    def peek_tail(self) -> Optional[Packet]:
+        """The buffered packet with the largest RFS (deflection candidate)."""
+        entry = self._ranked.peek_max()
+        return entry[1] if entry else None
+
+    def pop_tail(self, now_ns: int = 0) -> Packet:
+        """Extract the largest-RFS packet (PIEO tail extraction)."""
+        _, packet = self._ranked.pop_max()
+        self._on_pop(packet, now_ns)
+        return packet
+
+    def __len__(self) -> int:
+        return len(self._ranked)
+
+    def __bool__(self) -> bool:
+        return bool(self._ranked)
+
+    def packets(self) -> List[Packet]:
+        return [packet for _, packet in self._ranked.items()]

@@ -1,0 +1,84 @@
+"""Output-queued switch.
+
+A switch owns a set of ports (each with its own byte-bounded queue), a
+pre-populated multipath FIB mapping destination hosts to candidate egress
+ports (paper §3.2 assumes pre-populated forwarding tables), and a
+forwarding policy (:mod:`repro.forwarding`) that decides, per packet,
+which candidate to use and what to do on overflow — drop (ECMP/DRILL),
+random deflection (DIBS), or selective deflection (Vertigo).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.metrics.collector import NetworkCounters
+from repro.net.link import Port
+from repro.net.packet import Packet
+from repro.net.queues import DropTailQueue, RankedQueue
+from repro.sim.engine import Engine
+
+PortQueue = Union[DropTailQueue, RankedQueue]
+
+#: Hop budget; packets exceeding it are dropped (guards deflection loops,
+#: mirroring the IP TTL that bounds DIBS-style deflection in practice).
+DEFAULT_MAX_HOPS = 64
+
+
+class Switch:
+    """A store-and-forward switch with policy-driven output queueing."""
+
+    def __init__(self, engine: Engine, name: str, counters: NetworkCounters,
+                 max_hops: int = DEFAULT_MAX_HOPS) -> None:
+        self.engine = engine
+        self.name = name
+        self.counters = counters
+        self.max_hops = max_hops
+        self.ports: List[Port] = []
+        #: Per-port peer kind: True if the link on that port faces a switch.
+        self.port_faces_switch: List[bool] = []
+        #: dst host id -> tuple of candidate (shortest-path) egress ports.
+        self.fib: Dict[int, Tuple[int, ...]] = {}
+        self.policy = None  # set by the network builder
+
+    # -- construction --------------------------------------------------------
+
+    def add_port(self, queue: PortQueue, *, faces_switch: bool) -> int:
+        index = len(self.ports)
+        self.ports.append(Port(self.engine, self, index, queue))
+        self.port_faces_switch.append(faces_switch)
+        return index
+
+    @property
+    def switch_ports(self) -> List[int]:
+        return [index for index, faces in enumerate(self.port_faces_switch)
+                if faces]
+
+    # -- dataplane ------------------------------------------------------------
+
+    def receive(self, packet: Packet, in_port: int) -> None:
+        packet.hops += 1
+        if packet.hops > self.max_hops:
+            self.drop(packet, "hop_limit")
+            return
+        self.policy.route(packet, in_port)
+
+    def candidates(self, dst: int) -> Tuple[int, ...]:
+        try:
+            return self.fib[dst]
+        except KeyError:
+            raise KeyError(f"{self.name}: no route to host {dst}") from None
+
+    def enqueue(self, port_index: int, packet: Packet) -> None:
+        """Enqueue a packet that the policy verified to fit."""
+        self.counters.forwarded += 1
+        self.ports[port_index].enqueue(packet)
+
+    def drop(self, packet: Packet, reason: str) -> None:
+        self.counters.drops[reason] += 1
+
+    def queue_bytes(self, port_index: int) -> int:
+        return self.ports[port_index].occupancy_bytes()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Switch {self.name} ports={len(self.ports)}>"

@@ -1,0 +1,84 @@
+"""Unit helpers.
+
+All simulation time is kept as integer **nanoseconds** to avoid floating
+point drift over long runs; all data sizes are integer **bytes** and all
+rates are integer **bits per second**.  The helpers here convert between
+human-friendly quantities and those canonical units.
+"""
+
+from __future__ import annotations
+
+NANOSECOND = 1
+MICROSECOND = 1_000
+MILLISECOND = 1_000_000
+SECOND = 1_000_000_000
+
+KILO = 1_000
+MEGA = 1_000_000
+GIGA = 1_000_000_000
+
+
+def seconds(value: float) -> int:
+    """Convert seconds to integer nanoseconds."""
+    return round(value * SECOND)
+
+
+def usecs(value: float) -> int:
+    """Convert microseconds to integer nanoseconds."""
+    return round(value * MICROSECOND)
+
+
+def msecs(value: float) -> int:
+    """Convert milliseconds to integer nanoseconds."""
+    return round(value * MILLISECOND)
+
+
+def gbps(value: float) -> int:
+    """Convert gigabits per second to bits per second."""
+    return round(value * GIGA)
+
+
+def mbps(value: float) -> int:
+    """Convert megabits per second to bits per second."""
+    return round(value * MEGA)
+
+
+def kb(value: float) -> int:
+    """Convert kilobytes (10^3 bytes) to bytes."""
+    return round(value * KILO)
+
+
+def mb(value: float) -> int:
+    """Convert megabytes (10^6 bytes) to bytes."""
+    return round(value * MEGA)
+
+
+def bytes_to_bits(n_bytes: int) -> int:
+    return n_bytes * 8
+
+
+def bits_to_bytes(n_bits: int) -> int:
+    return n_bits // 8
+
+
+def transmission_delay_ns(size_bytes: int, rate_bps: int) -> int:
+    """Time to serialize ``size_bytes`` onto a link of ``rate_bps``.
+
+    Rounded up to a whole nanosecond so that back-to-back packets never
+    overlap on the wire.
+    """
+    if rate_bps <= 0:
+        raise ValueError(f"link rate must be positive, got {rate_bps}")
+    bits = size_bytes * 8
+    return -(-bits * SECOND // rate_bps)  # ceil division
+
+
+def fmt_time(t_ns: int) -> str:
+    """Render a nanosecond timestamp with an adaptive unit for logs."""
+    if t_ns >= SECOND:
+        return f"{t_ns / SECOND:.6f}s"
+    if t_ns >= MILLISECOND:
+        return f"{t_ns / MILLISECOND:.3f}ms"
+    if t_ns >= MICROSECOND:
+        return f"{t_ns / MICROSECOND:.3f}us"
+    return f"{t_ns}ns"

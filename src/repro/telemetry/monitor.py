@@ -1,0 +1,141 @@
+"""Periodic sampling and congestion-event classification.
+
+The monitor schedules itself on the simulation engine every
+``interval_ns`` and records, per switch port, the link utilization over
+the interval and the instantaneous queue occupancy; network-wide it
+tracks the deflection and drop deltas.  Intervals are classified:
+
+- ``microburst`` — deflection activity spiked while drops stayed at
+  (near) zero: the fabric absorbed a short overload in place, which a
+  drop-based monitor would have missed entirely (§5's observation);
+- ``persistent`` — packets were dropped: deflection capacity was
+  exhausted, i.e. long-lasting, network-wide congestion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.metrics.collector import NetworkCounters
+from repro.net.builder import Network
+from repro.sim.engine import Engine
+
+
+@dataclass(frozen=True)
+class PortSample:
+    """One port's measurements over one sampling interval."""
+
+    time_ns: int
+    switch: str
+    port: int
+    utilization: float        # fraction of the interval the link was busy
+    queue_bytes: int
+    queue_fraction: float     # occupancy / capacity
+
+
+@dataclass(frozen=True)
+class CongestionEvent:
+    """A classified interval."""
+
+    time_ns: int
+    kind: str                 # "microburst" | "persistent"
+    deflections: int          # delta over the interval
+    drops: int                # delta over the interval
+    hottest_port: Tuple[str, int]
+    hottest_utilization: float
+
+
+class TelemetryMonitor:
+    """Samples a running :class:`~repro.net.builder.Network`."""
+
+    def __init__(self, engine: Engine, network: Network,
+                 interval_ns: int = 1_000_000, *,
+                 microburst_deflection_threshold: int = 10) -> None:
+        if interval_ns <= 0:
+            raise ValueError("sampling interval must be positive")
+        self.engine = engine
+        self.network = network
+        self.interval_ns = interval_ns
+        self.microburst_deflection_threshold = \
+            microburst_deflection_threshold
+        self.samples: List[PortSample] = []
+        self.events: List[CongestionEvent] = []
+        self._last_bytes: Dict[Tuple[str, int], int] = {}
+        self._last_deflections = 0
+        self._last_drops = 0
+        self._running = False
+
+    @property
+    def counters(self) -> NetworkCounters:
+        return self.network.metrics.counters
+
+    def start(self) -> None:
+        """Begin sampling; reschedules itself until the run ends."""
+        if self._running:
+            return
+        self._running = True
+        for switch in self.network.switches.values():
+            for port in switch.ports:
+                self._last_bytes[(switch.name, port.index)] = \
+                    port.bytes_sent
+        self._last_deflections = self.counters.deflections
+        self._last_drops = self.counters.total_drops
+        self.engine.schedule(self.interval_ns, self._tick)
+
+    def _tick(self) -> None:
+        now = self.engine.now
+        hottest: Optional[PortSample] = None
+        for switch in self.network.switches.values():
+            for port in switch.ports:
+                key = (switch.name, port.index)
+                sent = port.bytes_sent
+                delta = sent - self._last_bytes[key]
+                self._last_bytes[key] = sent
+                rate = port.link.rate_bps if port.link else 0
+                busy_ns = (delta * 8 * 1_000_000_000 / rate) if rate else 0
+                sample = PortSample(
+                    time_ns=now, switch=switch.name, port=port.index,
+                    utilization=min(1.0, busy_ns / self.interval_ns),
+                    queue_bytes=port.queue.bytes,
+                    queue_fraction=port.queue.bytes
+                    / port.queue.capacity_bytes)
+                self.samples.append(sample)
+                if hottest is None \
+                        or sample.utilization > hottest.utilization:
+                    hottest = sample
+        self._classify(now, hottest)
+        self.engine.schedule(self.interval_ns, self._tick)
+
+    def _classify(self, now: int, hottest: Optional[PortSample]) -> None:
+        deflections = self.counters.deflections
+        drops = self.counters.total_drops
+        deflection_delta = deflections - self._last_deflections
+        drop_delta = drops - self._last_drops
+        self._last_deflections = deflections
+        self._last_drops = drops
+        kind: Optional[str] = None
+        if drop_delta > 0:
+            kind = "persistent"
+        elif deflection_delta >= self.microburst_deflection_threshold:
+            kind = "microburst"
+        if kind is not None and hottest is not None:
+            self.events.append(CongestionEvent(
+                time_ns=now, kind=kind, deflections=deflection_delta,
+                drops=drop_delta,
+                hottest_port=(hottest.switch, hottest.port),
+                hottest_utilization=hottest.utilization))
+
+    # -- reporting ---------------------------------------------------------------
+
+    def mean_utilization(self, switch: Optional[str] = None) -> float:
+        """Average sampled utilization, optionally for one switch."""
+        pool = [s.utilization for s in self.samples
+                if switch is None or s.switch == switch]
+        return sum(pool) / len(pool) if pool else 0.0
+
+    def microburst_count(self) -> int:
+        return sum(1 for e in self.events if e.kind == "microburst")
+
+    def persistent_count(self) -> int:
+        return sum(1 for e in self.events if e.kind == "persistent")

@@ -1,0 +1,410 @@
+"""Shared transport machinery: sliding-window sender and cumulative-ACK
+receiver.
+
+The sender implements everything common to the three evaluated congestion
+controls — segmenting, window-gated transmission with optional pacing,
+timestamp-based RTT estimation (immune to retransmission ambiguity),
+duplicate-ACK fast retransmit, and exponential-backoff RTO — and exposes
+congestion-control hooks (``on_new_ack_cc`` / ``on_fast_retransmit_cc`` /
+``on_rto_cc``) for the subclasses.
+
+There is no handshake: datacenter simulations conventionally pre-establish
+connections, and the paper measures data transfer latency only.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Optional
+
+from repro.metrics.collector import MetricsCollector
+from repro.net.packet import (
+    DEFAULT_MSS,
+    Packet,
+    PacketKind,
+    ack_packet,
+    data_packet,
+)
+from repro.sim.engine import Engine
+from repro.sim.timers import Timer
+from repro.sim.units import MILLISECOND, SECOND
+
+
+@dataclass(frozen=True)
+class TransportConfig:
+    """Transport parameters (paper §4.1 defaults)."""
+
+    mss: int = DEFAULT_MSS
+    init_cwnd: float = 10.0          # packets (paper: TCP initial window 10)
+    init_rto_ns: int = 1 * SECOND    # paper: initial RTO 1 s
+    min_rto_ns: int = 10 * MILLISECOND  # paper: minRTO 10 ms
+    max_rto_ns: int = 8 * SECOND
+    dupack_threshold: int = 3
+    fast_retransmit: bool = True     # DIBS disables this (paper §2)
+    ecn_capable: bool = False
+    max_cwnd: float = 1000.0
+    #: NewReno partial-ACK handling (RFC 6582): during fast recovery, a
+    #: new ACK below the recovery point immediately retransmits the next
+    #: hole instead of waiting for three more dupacks.
+    newreno: bool = True
+    #: Delayed ACKs: acknowledge every second segment, or after
+    #: ``delayed_ack_timeout_ns`` — off by default (per-packet ACKs, the
+    #: common datacenter-simulation setting).
+    delayed_ack: bool = False
+    delayed_ack_timeout_ns: int = 500_000
+    #: Give up on a flow after this many consecutive RTOs (TCP's R2
+    #: threshold).  With exponential backoff this is far beyond any
+    #: simulated window; it exists so an unreachable peer cannot generate
+    #: events forever.
+    max_consecutive_rtos: int = 20
+    # Swift-specific knobs (ignored by Reno/DCTCP).  A non-positive target
+    # delay means "auto": the experiment runner derives it from the
+    # topology's base RTT (Swift's base-plus-scaling target, folded).
+    swift_target_delay_ns: int = 0
+    swift_ai: float = 1.0
+    swift_beta: float = 0.8
+    swift_max_mdf: float = 0.5
+    swift_min_cwnd: float = 0.01
+
+    def with_overrides(self, **kwargs) -> "TransportConfig":
+        return replace(self, **kwargs)
+
+
+@dataclass
+class _Segment:
+    seq: int
+    payload: int
+    last_tx_ns: int
+    tx_count: int = 1
+
+
+class FlowSender:
+    """Window-based reliable sender for a single one-way flow."""
+
+    def __init__(self, engine: Engine, host, flow_id: int, dst: int,
+                 size: int, config: TransportConfig,
+                 metrics: MetricsCollector,
+                 on_complete: Optional[Callable[[], None]] = None) -> None:
+        if size <= 0:
+            raise ValueError("flow size must be positive")
+        self.engine = engine
+        self.host = host
+        self.flow_id = flow_id
+        self.dst = dst
+        self.size = size
+        self.config = config
+        self.metrics = metrics
+        self.on_complete = on_complete
+
+        self.snd_una = 0
+        self.snd_nxt = 0
+        self.cwnd = config.init_cwnd
+        self.ssthresh = float("inf")
+        self.dupacks = 0
+        self.in_recovery = False
+        self.recover_point = 0
+        self.completed = False
+        self.failed = False
+        self._rto_streak = 0
+
+        self.srtt_ns: Optional[int] = None
+        self.rttvar_ns = 0
+        self.rto_ns = config.init_rto_ns
+        self.backoff = 1
+
+        self._segments: Dict[int, _Segment] = {}
+        self._last_tx_ns = -(10 ** 18)
+        self._rto_timer = Timer(engine, self._on_rto)
+        self._pace_timer = Timer(engine, self._maybe_send)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> None:
+        self._maybe_send()
+
+    def stop(self) -> None:
+        self._rto_timer.stop()
+        self._pace_timer.stop()
+
+    # -- congestion-control hooks (overridden by subclasses) ----------------------
+
+    def on_new_ack_cc(self, acked_bytes: int, rtt_ns: Optional[int],
+                      ece: bool) -> None:
+        """Called on every window-advancing ACK."""
+
+    def on_fast_retransmit_cc(self) -> None:
+        """Called when the dupack threshold triggers fast retransmit."""
+
+    def on_rto_cc(self) -> None:
+        """Called on a retransmission timeout."""
+
+    def pacing_gap_ns(self) -> int:
+        """Minimum spacing between transmissions (0 = pure windowing)."""
+        return 0
+
+    # -- transmission --------------------------------------------------------------
+
+    def _inflight_packets(self) -> int:
+        return len(self._segments)
+
+    def _window_packets(self) -> int:
+        return max(1, math.floor(self.cwnd))
+
+    def _clamp_cwnd(self) -> None:
+        low = getattr(self, "min_cwnd", 1.0)
+        self.cwnd = min(max(self.cwnd, low), self.config.max_cwnd)
+
+    def _maybe_send(self) -> None:
+        if self.completed or self.failed:
+            return
+        while (self.snd_nxt < self.size
+               and self._inflight_packets() < self._window_packets()):
+            gap = self.pacing_gap_ns()
+            if gap > 0:
+                wait = self._last_tx_ns + gap - self.engine.now
+                if wait > 0:
+                    self._pace_timer.start(wait)
+                    return
+            payload = min(self.config.mss, self.size - self.snd_nxt)
+            self._transmit(self.snd_nxt, payload, tx_count=1)
+            self.snd_nxt += payload
+
+    def _transmit(self, seq: int, payload: int, tx_count: int) -> None:
+        now = self.engine.now
+        packet = data_packet(self.host.host_id, self.dst, self.flow_id, seq,
+                             payload, mss=self.config.mss,
+                             ecn_capable=self.config.ecn_capable,
+                             sent_at=now, tx_count=tx_count)
+        segment = self._segments.get(seq)
+        if segment is None:
+            self._segments[seq] = _Segment(seq, payload, now, tx_count)
+        else:
+            segment.last_tx_ns = now
+            segment.tx_count = tx_count
+        self._last_tx_ns = now
+        if tx_count > 1:
+            self.metrics.counters.retransmissions += 1
+            record = self.metrics.flows.get(self.flow_id)
+            if record is not None:
+                record.retransmissions += 1
+        self.host.send_packet(packet)
+        if not self._rto_timer.armed:
+            self._rto_timer.start(self.rto_ns)
+
+    def _retransmit_head(self) -> None:
+        segment = self._segments.get(self.snd_una)
+        if segment is None:
+            # Head segment unknown (e.g. all data acked meanwhile).
+            return
+        self._transmit(segment.seq, segment.payload, segment.tx_count + 1)
+
+    # -- ACK processing ----------------------------------------------------------
+
+    def on_ack(self, packet: Packet) -> None:
+        if self.completed or self.failed:
+            return
+        if packet.ack_no > self.snd_una:
+            self._on_new_ack(packet)
+        elif packet.ack_no == self.snd_una and self._segments:
+            self._on_dupack()
+        self._maybe_send()
+
+    def _on_new_ack(self, packet: Packet) -> None:
+        acked = packet.ack_no - self.snd_una
+        self.snd_una = packet.ack_no
+        self._rto_streak = 0
+        for seq in [s for s in self._segments
+                    if s + self._segments[s].payload <= self.snd_una]:
+            del self._segments[seq]
+        self.dupacks = 0
+        self.backoff = 1
+
+        rtt_ns: Optional[int] = None
+        if packet.ts_echo >= 0:
+            rtt_ns = self.engine.now - packet.ts_echo
+            self._update_rtt(rtt_ns)
+
+        if self.in_recovery:
+            if self.snd_una >= self.recover_point:
+                self.in_recovery = False
+            elif self.config.newreno:
+                # Partial ACK (RFC 6582): the next hole is lost too —
+                # retransmit it now rather than stalling to an RTO.
+                self._retransmit_head()
+
+        self.on_new_ack_cc(acked, rtt_ns, packet.ece)
+        self._clamp_cwnd()
+
+        if self.snd_una >= self.size:
+            self.completed = True
+            self.stop()
+            if self.on_complete is not None:
+                self.on_complete()
+            return
+        if self._segments:
+            self._rto_timer.start(self.rto_ns)
+        else:
+            self._rto_timer.stop()
+
+    def _on_dupack(self) -> None:
+        self.dupacks += 1
+        if (self.config.fast_retransmit and not self.in_recovery
+                and self.dupacks >= self.config.dupack_threshold):
+            self.in_recovery = True
+            self.recover_point = self.snd_nxt
+            self.on_fast_retransmit_cc()
+            self._clamp_cwnd()
+            self._retransmit_head()
+
+    def _update_rtt(self, rtt_ns: int) -> None:
+        if self.srtt_ns is None:
+            self.srtt_ns = rtt_ns
+            self.rttvar_ns = rtt_ns // 2
+        else:
+            delta = abs(rtt_ns - self.srtt_ns)
+            self.rttvar_ns = (3 * self.rttvar_ns + delta) // 4
+            self.srtt_ns = (7 * self.srtt_ns + rtt_ns) // 8
+        base = self.srtt_ns + max(4 * self.rttvar_ns, 1000)
+        self.rto_ns = min(max(base, self.config.min_rto_ns),
+                          self.config.max_rto_ns)
+
+    # -- RTO ----------------------------------------------------------------------
+
+    def _on_rto(self) -> None:
+        if self.completed or self.failed or not self._segments:
+            return
+        self._rto_streak += 1
+        if self._rto_streak > self.config.max_consecutive_rtos:
+            # Unreachable peer: abort like TCP past its R2 threshold.
+            self.failed = True
+            self.metrics.counters.aborted_flows += 1
+            self.stop()
+            return
+        self.dupacks = 0
+        self.in_recovery = False
+        self.on_rto_cc()
+        self._clamp_cwnd()
+        self.backoff = min(self.backoff * 2, 64)
+        self._retransmit_head()
+        delay = min(self.rto_ns * self.backoff, self.config.max_rto_ns)
+        self._rto_timer.start(delay)
+
+
+class _Interval:
+    """Half-open received-byte interval bookkeeping for the receiver."""
+
+    __slots__ = ("start", "end")
+
+    def __init__(self, start: int, end: int) -> None:
+        self.start = start
+        self.end = end
+
+
+class FlowReceiver:
+    """Cumulative-ACK receiver; completion fires when every byte arrived."""
+
+    def __init__(self, engine: Engine, host, flow_id: int, peer: int,
+                 size: int, metrics: MetricsCollector,
+                 on_complete: Optional[Callable[[], None]] = None,
+                 config: Optional[TransportConfig] = None) -> None:
+        self.engine = engine
+        self.host = host
+        self.flow_id = flow_id
+        self.peer = peer
+        self.size = size
+        self.metrics = metrics
+        self.on_complete = on_complete
+        self.config = config or TransportConfig()
+        self.rcv_nxt = 0
+        self.completed = False
+        self._max_seq_seen = -1
+        self._ooo: Dict[int, int] = {}  # seq -> end_seq of buffered segments
+        # Delayed-ACK state.
+        self._held_segments = 0
+        self._held_ece = False
+        self._held_ts_echo = -1
+        self._ack_timer = Timer(engine, self._flush_ack)
+        self.acks_sent = 0
+
+    def on_data(self, packet: Packet) -> None:
+        if packet.kind is not PacketKind.DATA:
+            raise ValueError("FlowReceiver.on_data got a non-data packet")
+        if packet.seq < self._max_seq_seen:
+            self.metrics.counters.reordered_arrivals += 1
+        self._max_seq_seen = max(self._max_seq_seen, packet.seq)
+
+        in_order = packet.seq <= self.rcv_nxt < packet.end_seq
+        if packet.end_seq > self.rcv_nxt:
+            if packet.seq > self.rcv_nxt:
+                self._ooo[packet.seq] = max(self._ooo.get(packet.seq, 0),
+                                            packet.end_seq)
+            else:
+                self.rcv_nxt = packet.end_seq
+            # Drain any now-contiguous buffered segments.
+            advanced = True
+            while advanced:
+                advanced = False
+                for seq in sorted(self._ooo):
+                    if seq > self.rcv_nxt:
+                        break
+                    end = self._ooo.pop(seq)
+                    if end > self.rcv_nxt:
+                        self.rcv_nxt = end
+                    advanced = True
+                    break
+
+        record = self.metrics.flows.get(self.flow_id)
+        if record is not None and record.end_ns is None:
+            record.bytes_delivered = min(self.rcv_nxt, self.size)
+
+        done = self.rcv_nxt >= self.size
+        self._ack_policy(packet, in_order=in_order, done=done)
+        if done and not self.completed:
+            self.completed = True
+            self.metrics.flow_completed(self.flow_id, self.engine.now)
+            if self.on_complete is not None:
+                self.on_complete()
+
+    def _ack_policy(self, data: Packet, *, in_order: bool,
+                    done: bool) -> None:
+        """Per-packet ACKs, or delayed ACKs with the DCTCP-style rule
+        that a change in the CE marking flushes immediately."""
+        if not self.config.delayed_ack:
+            self._emit_ack(ece=data.ecn_ce, ts_echo=data.sent_at)
+            return
+        ce_changed = (self._held_segments > 0
+                      and data.ecn_ce != self._held_ece)
+        if ce_changed:
+            # Acknowledge the held run with its own ECE value first.
+            self._flush_ack()
+        if not in_order or done or self._ooo:
+            # Duplicates, gaps, gap-fills, and flow completion always
+            # acknowledge immediately (dupacks drive fast retransmit).
+            self._held_ece = self._held_ece or data.ecn_ce
+            self._held_ts_echo = data.sent_at
+            self._held_segments += 1
+            self._flush_ack()
+            return
+        self._held_ece = self._held_ece or data.ecn_ce
+        self._held_ts_echo = data.sent_at
+        self._held_segments += 1
+        if self._held_segments >= 2:
+            self._flush_ack()
+        elif not self._ack_timer.armed:
+            self._ack_timer.start(self.config.delayed_ack_timeout_ns)
+
+    def _flush_ack(self) -> None:
+        if self._held_segments == 0 and self.config.delayed_ack:
+            return
+        self._emit_ack(ece=self._held_ece, ts_echo=self._held_ts_echo)
+        self._held_segments = 0
+        self._held_ece = False
+        self._held_ts_echo = -1
+        self._ack_timer.stop()
+
+    def _emit_ack(self, *, ece: bool, ts_echo: int) -> None:
+        ack = ack_packet(self.host.host_id, self.peer, self.flow_id,
+                         self.rcv_nxt, ece=ece, ts_echo=ts_echo)
+        self.acks_sent += 1
+        self.host.send_packet(ack)

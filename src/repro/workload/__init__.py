@@ -1,0 +1,21 @@
+"""Workload generation: empirical background traffic and incast queries."""
+
+from repro.workload.distributions import (
+    DISTRIBUTIONS,
+    EmpiricalCDF,
+    cache_follower,
+    data_mining,
+    web_search,
+)
+from repro.workload.background import BackgroundTraffic
+from repro.workload.incast import IncastApp
+
+__all__ = [
+    "EmpiricalCDF",
+    "DISTRIBUTIONS",
+    "cache_follower",
+    "data_mining",
+    "web_search",
+    "BackgroundTraffic",
+    "IncastApp",
+]

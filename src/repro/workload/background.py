@@ -1,0 +1,68 @@
+"""Background (all-to-all) traffic generator.
+
+Flows arrive as a Poisson process between uniformly random host pairs with
+sizes drawn from an empirical distribution.  The offered load is expressed
+as a fraction of the aggregate host access bandwidth (the convention of
+the paper and of the pFabric/Homa line of simulators): a load of ``L``
+makes each host *send*, on average, ``L × host_rate`` bits per second.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from repro.sim.engine import Engine
+from repro.sim.units import SECOND
+from repro.workload.distributions import EmpiricalCDF
+
+#: open_flow(src, dst, size, is_incast, query_id) -> None
+FlowOpener = Callable[..., None]
+
+
+def poisson_rate_for_load(load: float, n_hosts: int, host_rate_bps: int,
+                          mean_flow_bytes: float) -> float:
+    """Network-wide flow arrival rate (flows/s) for a target load fraction."""
+    if not 0 <= load:
+        raise ValueError("load must be non-negative")
+    return load * n_hosts * host_rate_bps / (8.0 * mean_flow_bytes)
+
+
+class BackgroundTraffic:
+    """Poisson all-to-all flows from an empirical size distribution."""
+
+    def __init__(self, engine: Engine, open_flow: FlowOpener, n_hosts: int,
+                 host_rate_bps: int, load: float, sizes: EmpiricalCDF,
+                 rng: random.Random, until_ns: int) -> None:
+        if n_hosts < 2:
+            raise ValueError("background traffic needs at least two hosts")
+        self.engine = engine
+        self.open_flow = open_flow
+        self.n_hosts = n_hosts
+        self.rng = rng
+        self.sizes = sizes
+        self.until_ns = until_ns
+        self.flows_generated = 0
+        rate_per_s = poisson_rate_for_load(load, n_hosts, host_rate_bps,
+                                           sizes.mean())
+        self._mean_gap_ns = SECOND / rate_per_s if rate_per_s > 0 else None
+
+    def start(self) -> None:
+        if self._mean_gap_ns is not None:
+            self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        gap = self.rng.expovariate(1.0 / self._mean_gap_ns)
+        when = self.engine.now + max(1, round(gap))
+        if when <= self.until_ns:
+            self.engine.schedule_at(when, self._launch_flow)
+
+    def _launch_flow(self) -> None:
+        src = self.rng.randrange(self.n_hosts)
+        dst = self.rng.randrange(self.n_hosts - 1)
+        if dst >= src:
+            dst += 1
+        size = self.sizes.sample(self.rng)
+        self.open_flow(src, dst, size, is_incast=False, query_id=None)
+        self.flows_generated += 1
+        self._schedule_next()

@@ -1,0 +1,85 @@
+"""Shared test utilities: stub devices and standalone-switch harnesses."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.metrics.collector import MetricsCollector
+from repro.net.link import Link
+from repro.net.packet import Packet, PacketKind, data_packet
+from repro.net.queues import DropTailQueue, RankedQueue
+from repro.net.switch import Switch
+from repro.sim.engine import Engine
+from repro.sim.units import usecs
+
+
+class SinkDevice:
+    """Endpoint that records every packet delivered to it."""
+
+    def __init__(self, name: str = "sink") -> None:
+        self.name = name
+        self.received: List[Packet] = []
+
+    def receive(self, packet: Packet, in_port: int) -> None:
+        self.received.append(packet)
+
+
+def make_switch(engine: Engine, *, n_fabric_ports: int = 4,
+                n_host_ports: int = 1, ranked: bool = False,
+                capacity_bytes: int = 30_000,
+                rate_bps: int = 1_000_000_000,
+                metrics: Optional[MetricsCollector] = None):
+    """A standalone switch whose every port feeds a :class:`SinkDevice`.
+
+    Host-facing ports come first (port ``i`` reaches host ``i``), then the
+    fabric (switch-facing) ports.  The FIB maps host ``i`` to its port.
+    Returns ``(switch, sinks_by_port, metrics)``.
+    """
+    metrics = metrics or MetricsCollector()
+    switch = Switch(engine, "sw0", metrics.counters)
+    sinks: Dict[int, SinkDevice] = {}
+    queue_cls = RankedQueue if ranked else DropTailQueue
+    for host in range(n_host_ports):
+        port = switch.add_port(queue_cls(capacity_bytes), faces_switch=False)
+        sink = SinkDevice(f"host{host}")
+        sinks[port] = sink
+        switch.ports[port].attach(Link(engine, rate_bps, usecs(1), sink, 0))
+        switch.fib[host] = (port,)
+    for fabric in range(n_fabric_ports):
+        port = switch.add_port(queue_cls(capacity_bytes), faces_switch=True)
+        sink = SinkDevice(f"peer{fabric}")
+        sinks[port] = sink
+        switch.ports[port].attach(Link(engine, rate_bps, usecs(1), sink, 0))
+    return switch, sinks, metrics
+
+
+def mk_data(flow_id: int = 1, seq: int = 0, payload: int = 1000,
+            src: int = 10, dst: int = 0, **kwargs) -> Packet:
+    return data_packet(src, dst, flow_id, seq, payload, **kwargs)
+
+
+def fill_queue(switch: Switch, port: int, *, payload: int = 1460,
+               flow_id: int = 99, rank: Optional[int] = None) -> int:
+    """Stuff a port queue to capacity with filler packets; returns count."""
+    from repro.core.flowinfo import FlowInfo
+
+    count = 0
+    seq = 0
+    while True:
+        packet = mk_data(flow_id=flow_id, seq=seq, payload=payload)
+        if rank is not None:
+            packet.flowinfo = FlowInfo(rfs=rank)
+        if not switch.ports[port].fits(packet):
+            return count
+        switch.ports[port].queue.push(packet, switch.engine.now)
+        seq += payload
+        count += 1
+
+
+def drain_engine(engine: Engine, limit_ns: int = 10_000_000_000) -> None:
+    engine.run(until=limit_ns)
+
+
+def seeded_rng(seed: int = 42) -> random.Random:
+    return random.Random(seed)

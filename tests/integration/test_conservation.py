@@ -1,0 +1,105 @@
+"""Conservation and accounting invariants over whole runs."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.sim.units import MILLISECOND
+
+
+def _run(system, **kwargs):
+    defaults = dict(bg_load=0.2, incast_qps=80, incast_scale=6,
+                    sim_time_ns=40 * MILLISECOND)
+    defaults.update(kwargs)
+    return run_experiment(ExperimentConfig.bench_profile(
+        system=system, transport="dctcp", **defaults))
+
+
+@pytest.mark.parametrize("system", ["ecmp", "drill", "dibs", "vertigo"])
+def test_completed_flows_delivered_every_byte(system):
+    result = _run(system)
+    for flow in result.metrics.flows.values():
+        if flow.completed:
+            assert flow.bytes_delivered == flow.size
+        else:
+            assert 0 <= flow.bytes_delivered <= flow.size
+
+
+@pytest.mark.parametrize("system", ["ecmp", "vertigo"])
+def test_fct_never_negative_or_absurd(system):
+    result = _run(system)
+    for flow in result.metrics.flows.values():
+        if flow.completed:
+            assert 0 < flow.fct_ns <= result.duration_ns
+
+
+def test_query_bookkeeping_consistent():
+    result = _run("vertigo")
+    for query in result.metrics.queries.values():
+        assert 0 <= query.flows_done <= query.n_flows
+        if query.completed:
+            assert query.flows_done == query.n_flows
+            assert query.qct_ns > 0
+    flows_by_query = {}
+    for flow in result.metrics.flows.values():
+        if flow.query_id is not None:
+            flows_by_query.setdefault(flow.query_id, []).append(flow)
+    for query_id, flows in flows_by_query.items():
+        assert len(flows) == result.metrics.queries[query_id].n_flows
+
+
+@pytest.mark.parametrize("system", ["dibs", "vertigo"])
+def test_deflection_and_drop_counters_consistent(system):
+    result = _run(system, incast_qps=150, incast_scale=10)
+    counters = result.metrics.counters
+    assert counters.deflections >= 0
+    assert all(count >= 0 for count in counters.drops.values())
+    # Deliveries can't exceed forwarding operations.
+    assert counters.delivered <= counters.forwarded
+
+
+def test_queue_byte_accounting_ends_consistent():
+    result = _run("vertigo")
+    for name, index, queue in result.network.all_switch_queues():
+        assert 0 <= queue.bytes <= queue.capacity_bytes, (name, index)
+        snapshot = sum(p.wire_bytes for p in queue.packets())
+        assert snapshot == queue.bytes, (name, index)
+
+
+def test_hosts_never_hold_negative_state():
+    result = _run("vertigo")
+    for host in result.network.hosts:
+        for sender in host.senders.values():
+            assert 0 <= sender.snd_una <= sender.snd_nxt <= sender.size
+        for receiver in host.receivers.values():
+            assert 0 <= receiver.rcv_nxt <= receiver.size
+
+
+def test_determinism_same_seed_same_results():
+    a = _run("vertigo", sim_time_ns=25 * MILLISECOND)
+    b = _run("vertigo", sim_time_ns=25 * MILLISECOND)
+    assert a.row() == b.row()
+    assert a.engine.events_executed == b.engine.events_executed
+
+
+def test_different_seeds_differ():
+    a = run_experiment(ExperimentConfig.bench_profile(
+        system="vertigo", transport="dctcp", bg_load=0.2, incast_qps=80,
+        incast_scale=6, sim_time_ns=25 * MILLISECOND, seed=1))
+    b = run_experiment(ExperimentConfig.bench_profile(
+        system="vertigo", transport="dctcp", bg_load=0.2, incast_qps=80,
+        incast_scale=6, sim_time_ns=25 * MILLISECOND, seed=2))
+    assert a.engine.events_executed != b.engine.events_executed
+
+
+def test_ecn_marks_only_under_dctcp():
+    dctcp = _run("ecmp")
+    marks = sum(q.stats.ecn_marked
+                for _, _, q in dctcp.network.all_switch_queues())
+    assert marks > 0  # bursty run with DCTCP must mark
+    reno = run_experiment(ExperimentConfig.bench_profile(
+        system="ecmp", transport="reno", bg_load=0.2, incast_qps=80,
+        incast_scale=6, sim_time_ns=25 * MILLISECOND))
+    reno_marks = sum(q.stats.ecn_marked
+                     for _, _, q in reno.network.all_switch_queues())
+    assert reno_marks == 0

@@ -1,0 +1,49 @@
+"""Property-based tests: RFS rotation boosting invariants."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.flowinfo import (
+    RFS_MASK,
+    boost_rfs,
+    rotl32,
+    rotr32,
+    unboost_rfs,
+)
+
+rfs_values = st.integers(min_value=0, max_value=RFS_MASK)
+retcnts = st.integers(min_value=0, max_value=15)
+factors = st.sampled_from([1, 2, 4, 8, 16])
+
+
+@given(rfs_values, retcnts, factors)
+def test_boost_roundtrip(original, retcnt, factor):
+    wire = boost_rfs(original, retcnt, factor)
+    assert unboost_rfs(wire, retcnt, factor) == original
+
+
+@given(rfs_values, st.integers(min_value=0, max_value=200))
+def test_rotations_invert(value, count):
+    assert rotl32(rotr32(value, count), count) == value
+    assert rotr32(rotl32(value, count), count) == value
+
+
+@given(rfs_values, st.integers(min_value=0, max_value=200))
+def test_rotation_stays_32_bit(value, count):
+    assert 0 <= rotr32(value, count) <= RFS_MASK
+    assert 0 <= rotl32(value, count) <= RFS_MASK
+
+
+@given(rfs_values, retcnts)
+def test_boost_halves_even_headroom_values(original, retcnt):
+    """For values whose low ``retcnt`` bits are clear, boosting by 2^1
+    per retransmission is exact integer division — the paper's intent."""
+    cleared = original & ~((1 << retcnt) - 1)
+    assert boost_rfs(cleared, retcnt, 2) == cleared >> retcnt
+
+
+@given(rfs_values, retcnts, factors)
+def test_boost_composition_matches_total_rotation(original, retcnt, factor):
+    import math
+    k = int(math.log2(factor))
+    assert boost_rfs(original, retcnt, factor) \
+        == rotr32(original, retcnt * k)

@@ -1,0 +1,92 @@
+"""Property-based tests: cuckoo filter, stats, topology routing, CDFs."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cuckoo import CuckooFilter
+from repro.metrics.stats import percentile
+from repro.net.topology import FatTree, LeafSpine
+from repro.workload.distributions import (
+    cache_follower,
+    data_mining,
+    web_search,
+)
+
+
+@given(st.sets(st.integers(0, 10 ** 12), max_size=200))
+def test_cuckoo_no_false_negatives(items):
+    filt = CuckooFilter(capacity=2048)
+    inserted = [item for item in items if filt.insert(item)]
+    for item in inserted:
+        assert filt.contains(item)
+
+
+@given(st.sets(st.integers(0, 10 ** 12), min_size=1, max_size=100))
+def test_cuckoo_delete_then_absent_usually(items):
+    filt = CuckooFilter(capacity=1024)
+    for item in items:
+        filt.insert(item)
+    for item in items:
+        assert filt.delete(item)
+    assert len(filt) == 0
+
+
+@given(st.lists(st.floats(0, 1e6), min_size=1, max_size=200),
+       st.floats(0, 100))
+def test_percentile_within_range(values, pct):
+    result = percentile(values, pct)
+    assert min(values) <= result <= max(values)
+
+
+@given(st.lists(st.floats(0, 1e6, allow_subnormal=False), min_size=2,
+                max_size=100))
+def test_percentile_monotone_in_pct(values):
+    points = [percentile(values, p) for p in (0, 25, 50, 75, 99, 100)]
+    assert all(b >= a for a, b in zip(points, points[1:]))
+
+
+@given(st.integers(1, 4), st.integers(2, 6), st.integers(1, 4))
+@settings(max_examples=20, deadline=None)
+def test_leaf_spine_routes_always_reach_tor(spines, leaves, hosts):
+    topo = LeafSpine(spines, leaves, hosts)
+    table = topo.next_hop_table()
+    tors = {topo.host_tor(h) for h in range(topo.n_hosts)}
+    for tor in tors:
+        for switch in topo.switch_names:
+            if switch == tor:
+                continue
+            # Walk greedily along first candidates: must terminate at tor.
+            current, steps = switch, 0
+            while current != tor:
+                current = table[current][tor][0]
+                steps += 1
+                assert steps <= len(topo.switch_names)
+
+
+@given(st.sampled_from([4, 6, 8]))
+@settings(max_examples=6, deadline=None)
+def test_fat_tree_path_lengths(k):
+    topo = FatTree(k)
+    # Edge-to-edge distances: 0 (same), 2 (same pod), 4 (cross pod).
+    distances = topo.bfs_distances(topo.host_tor(0))
+    same_pod_edge = f"edge0_1"
+    cross_pod_edge = f"edge1_0"
+    assert distances[same_pod_edge] == 2
+    assert distances[cross_pod_edge] == 4
+
+
+@given(st.sampled_from(["ws", "dm", "cf"]),
+       st.floats(0.001, 0.999), st.floats(0.001, 0.999))
+def test_cdf_quantile_monotonicity(which, u1, u2):
+    dist = {"ws": web_search, "dm": data_mining,
+            "cf": cache_follower}[which]()
+    lo, hi = sorted((u1, u2))
+    assert dist.quantile(lo) <= dist.quantile(hi)
+
+
+@given(st.integers(0, 2 ** 32))
+def test_cdf_samples_within_support(seed):
+    dist = web_search()
+    value = dist.sample(random.Random(seed))
+    assert 1_000 <= value <= 30_000_000

@@ -1,0 +1,77 @@
+"""Property-based tests: queue byte accounting and shared-buffer safety."""
+
+from hypothesis import given, strategies as st
+
+from repro.net.queues import DropTailQueue, RankedQueue, SharedBufferPool
+from repro.core.flowinfo import FlowInfo
+from tests.helpers import mk_data
+
+payloads = st.lists(st.integers(1, 1460), min_size=1, max_size=60)
+
+
+def _packet(payload, rank=None):
+    packet = mk_data(payload=payload)
+    if rank is not None:
+        packet.flowinfo = FlowInfo(rfs=rank)
+    return packet
+
+
+@given(payloads)
+def test_droptail_bytes_always_match_contents(sizes):
+    queue = DropTailQueue(30_000)
+    for payload in sizes:
+        packet = _packet(payload)
+        if queue.fits(packet):
+            queue.push(packet)
+        elif queue:
+            queue.pop()
+    assert queue.bytes == sum(p.wire_bytes for p in queue.packets())
+    assert 0 <= queue.bytes <= queue.capacity_bytes
+
+
+@given(st.lists(st.tuples(st.integers(1, 1460), st.integers(0, 10 ** 6),
+                          st.sampled_from(["push", "pop", "pop_tail"])),
+                max_size=80))
+def test_ranked_bytes_match_under_mixed_ops(operations):
+    queue = RankedQueue(30_000)
+    for payload, rank, op in operations:
+        if op == "push":
+            packet = _packet(payload, rank)
+            if queue.fits(packet):
+                queue.push(packet)
+        elif op == "pop" and queue:
+            queue.pop()
+        elif op == "pop_tail" and queue:
+            queue.pop_tail()
+        assert queue.bytes == sum(p.wire_bytes for p in queue.packets())
+    ranks = [p.rank() for p in queue.packets()]
+    assert ranks == sorted(ranks)
+
+
+@given(st.integers(2_000, 50_000), st.floats(0.1, 8.0), payloads)
+def test_shared_pool_never_overcommits(total, alpha, sizes):
+    pool = SharedBufferPool(total, alpha=alpha)
+    queues = [DropTailQueue(total, pool=pool) for _ in range(3)]
+    for index, payload in enumerate(sizes):
+        queue = queues[index % 3]
+        packet = _packet(payload)
+        if queue.fits(packet):
+            queue.push(packet)
+    assert 0 <= pool.used_bytes <= pool.total_bytes
+    assert pool.used_bytes == sum(q.bytes for q in queues)
+
+
+@given(st.floats(0.1, 4.0), payloads)
+def test_shared_pool_pop_restores_budget(alpha, sizes):
+    pool = SharedBufferPool(40_000, alpha=alpha)
+    queue = DropTailQueue(40_000, pool=pool)
+    pushed = []
+    for payload in sizes:
+        packet = _packet(payload)
+        if queue.fits(packet):
+            queue.push(packet)
+            pushed.append(packet)
+    for _ in pushed:
+        queue.pop()
+    assert pool.used_bytes == 0
+    assert queue.bytes == 0

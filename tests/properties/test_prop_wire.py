@@ -1,0 +1,37 @@
+"""Property-based tests: wire encodings round-trip exactly."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.flowinfo import RFS_MASK, FlowInfo
+from repro.core.wire import (
+    decode_ipv4_option,
+    decode_l3,
+    encode_ipv4_option,
+    encode_l3,
+)
+
+infos = st.builds(
+    FlowInfo,
+    rfs=st.integers(0, RFS_MASK),
+    retcnt=st.integers(0, 15),
+    flow_id3=st.integers(0, 7),
+    first=st.booleans(),
+)
+
+
+@given(infos, st.integers(0, 0xFFFF))
+def test_l3_roundtrip(info, ethertype):
+    decoded, decoded_ethertype = decode_l3(encode_l3(info, ethertype))
+    assert decoded == info
+    assert decoded_ethertype == ethertype
+
+
+@given(infos)
+def test_ipv4_option_roundtrip(info):
+    assert decode_ipv4_option(encode_ipv4_option(info)) == info
+
+
+@given(infos)
+def test_encodings_are_fixed_length(info):
+    assert len(encode_l3(info)) == 7
+    assert len(encode_ipv4_option(info)) == 8

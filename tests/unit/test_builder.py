@@ -1,0 +1,120 @@
+"""Network assembly from topology descriptions."""
+
+from repro.forwarding.ecmp import EcmpPolicy
+from repro.forwarding.vertigo import VertigoPolicy
+from repro.host.host import HostStackConfig
+from repro.metrics.collector import MetricsCollector
+from repro.net.builder import NetworkParams, build_network
+from repro.net.queues import DropTailQueue, RankedQueue
+from repro.net.topology import FatTree, LeafSpine
+from repro.sim.engine import Engine
+from repro.sim.rng import RngRegistry
+from repro.transport.reno import RenoSender
+
+
+def _build(topology, *, ranked=False, params=None):
+    engine = Engine()
+    metrics = MetricsCollector()
+    stack = HostStackConfig(transport_cls=RenoSender)
+    params = params or NetworkParams()
+    policy_cls = VertigoPolicy if ranked else EcmpPolicy
+    network = build_network(
+        engine, topology, params, metrics, stack,
+        lambda switch, rng: policy_cls(switch, rng), RngRegistry(1),
+        use_ranked_queues=ranked)
+    return network
+
+
+def test_leaf_spine_port_counts():
+    topo = LeafSpine(n_spines=2, n_leaves=3, hosts_per_leaf=4)
+    network = _build(topo)
+    for leaf in range(3):
+        assert len(network.switches[f"leaf{leaf}"].ports) == 4 + 2
+    for spine in range(2):
+        assert len(network.switches[f"spine{spine}"].ports) == 3
+
+
+def test_hosts_attached_and_addressable():
+    topo = LeafSpine(n_spines=2, n_leaves=2, hosts_per_leaf=2)
+    network = _build(topo)
+    assert len(network.hosts) == 4
+    for host in network.hosts:
+        assert host.nic.link is not None
+        assert host.nic.link.dst.name == topo.host_tor(host.host_id)
+
+
+def test_fib_complete_for_every_switch_host_pair():
+    topo = FatTree(4)
+    network = _build(topo)
+    for switch in network.switches.values():
+        for host in range(topo.n_hosts):
+            candidates = switch.fib[host]
+            assert candidates, f"{switch.name} has no route to {host}"
+            for port in candidates:
+                assert 0 <= port < len(switch.ports)
+
+
+def test_tor_fib_points_directly_at_host_port():
+    topo = LeafSpine(n_spines=2, n_leaves=2, hosts_per_leaf=2)
+    network = _build(topo)
+    leaf0 = network.switches["leaf0"]
+    for host in (0, 1):
+        (port,) = leaf0.fib[host]
+        assert leaf0.ports[port].peer is network.hosts[host]
+        assert not leaf0.port_faces_switch[port]
+
+
+def test_remote_leaf_has_all_spines_as_candidates():
+    topo = LeafSpine(n_spines=4, n_leaves=2, hosts_per_leaf=1)
+    network = _build(topo)
+    leaf0 = network.switches["leaf0"]
+    candidates = leaf0.fib[1]  # host 1 is behind leaf1
+    assert len(candidates) == 4
+    assert all(leaf0.port_faces_switch[p] for p in candidates)
+
+
+def test_queue_flavor_follows_system():
+    topo = LeafSpine(n_spines=2, n_leaves=2, hosts_per_leaf=1)
+    fifo_net = _build(topo, ranked=False)
+    ranked_net = _build(topo, ranked=True)
+    fifo_q = fifo_net.switches["leaf0"].ports[0].queue
+    ranked_q = ranked_net.switches["leaf0"].ports[0].queue
+    assert isinstance(fifo_q, DropTailQueue)
+    assert isinstance(ranked_q, RankedQueue)
+
+
+def test_links_are_bidirectional_pairs():
+    topo = LeafSpine(n_spines=1, n_leaves=2, hosts_per_leaf=1)
+    network = _build(topo)
+    leaf0 = network.switches["leaf0"]
+    spine0 = network.switches["spine0"]
+    up = next(p for p in leaf0.ports if p.peer is spine0)
+    down = next(p for p in spine0.ports if p.peer is leaf0)
+    assert up.link.dst_port == down.index
+    assert down.link.dst_port == up.index
+
+
+def test_network_params_applied_to_links():
+    topo = LeafSpine(n_spines=1, n_leaves=2, hosts_per_leaf=1)
+    params = NetworkParams(host_rate_bps=123, fabric_rate_bps=456,
+                           buffer_bytes=9999)
+    network = _build(topo, params=params)
+    leaf0 = network.switches["leaf0"]
+    host_port = leaf0.fib[0][0]
+    assert leaf0.ports[host_port].link.rate_bps == 123
+    fabric_port = leaf0.switch_ports[0]
+    assert leaf0.ports[fabric_port].link.rate_bps == 456
+    assert leaf0.ports[0].queue.capacity_bytes == 9999
+
+
+def test_every_switch_gets_policy_with_own_stream():
+    topo = LeafSpine(n_spines=2, n_leaves=2, hosts_per_leaf=1)
+    network = _build(topo)
+    policies = [s.policy for s in network.switches.values()]
+    assert all(policy is not None for policy in policies)
+    rngs = {id(policy.rng) for policy in policies}
+    assert len(rngs) == len(policies)  # independent streams
+
+
+def test_base_rtt_positive():
+    assert NetworkParams().base_rtt_ns() > 0

@@ -1,0 +1,59 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, config_from_args, main
+from repro.net.topology import FatTree, LeafSpine
+
+
+def test_defaults_build_bench_profile():
+    args = build_parser().parse_args([])
+    config = config_from_args(args)
+    assert config.system.name == "vertigo"
+    assert config.transport_name == "dctcp"
+    assert isinstance(config.topology, LeafSpine)
+    assert config.topology.n_hosts == 32
+
+
+def test_all_knobs_flow_through():
+    args = build_parser().parse_args([
+        "--system", "dibs", "--transport", "swift", "--bg-load", "0.3",
+        "--incast-load", "0.1", "--incast-scale", "5",
+        "--incast-flow-bytes", "2000", "--sim-ms", "10", "--seed", "9"])
+    config = config_from_args(args)
+    assert config.system.name == "dibs"
+    assert config.transport_name == "swift"
+    assert config.workload.bg_load == 0.3
+    assert config.workload.incast_load == 0.1
+    assert config.workload.incast_scale == 5
+    assert config.workload.incast_flow_bytes == 2000
+    assert config.sim_time_ns == 10_000_000
+    assert config.seed == 9
+
+
+def test_fat_tree_flag():
+    args = build_parser().parse_args(["--fat-tree", "4"])
+    config = config_from_args(args)
+    assert isinstance(config.topology, FatTree)
+    assert config.topology.k == 4
+
+
+def test_paper_scale_flag():
+    args = build_parser().parse_args(["--paper-scale"])
+    config = config_from_args(args)
+    assert config.topology.n_hosts == 320
+
+
+def test_invalid_system_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["--system", "bogus"])
+
+
+def test_main_runs_tiny_experiment(capsys):
+    code = main(["--system", "ecmp", "--bg-load", "0.05",
+                 "--incast-load", "0.02", "--incast-scale", "3",
+                 "--incast-flow-bytes", "3000", "--sim-ms", "5"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "mean_fct_s" in out
+    assert "ecmp" in out

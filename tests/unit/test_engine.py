@@ -1,0 +1,120 @@
+"""Event calendar and simulation loop."""
+
+import pytest
+
+from repro.sim.engine import Engine
+
+
+def test_events_run_in_time_order():
+    engine = Engine()
+    order = []
+    engine.schedule(30, order.append, "c")
+    engine.schedule(10, order.append, "a")
+    engine.schedule(20, order.append, "b")
+    engine.run()
+    assert order == ["a", "b", "c"]
+    assert engine.now == 30
+
+
+def test_same_time_events_run_fifo():
+    engine = Engine()
+    order = []
+    for tag in range(5):
+        engine.schedule(100, order.append, tag)
+    engine.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_priority_breaks_ties():
+    engine = Engine()
+    order = []
+    engine.schedule(100, order.append, "low", priority=5)
+    engine.schedule(100, order.append, "high", priority=-5)
+    engine.run()
+    assert order == ["high", "low"]
+
+
+def test_cancelled_events_do_not_run():
+    engine = Engine()
+    order = []
+    event = engine.schedule(10, order.append, "x")
+    engine.schedule(5, order.append, "y")
+    event.cancel()
+    engine.run()
+    assert order == ["y"]
+
+
+def test_run_until_stops_and_advances_clock():
+    engine = Engine()
+    order = []
+    engine.schedule(10, order.append, 1)
+    engine.schedule(100, order.append, 2)
+    executed = engine.run(until=50)
+    assert executed == 1
+    assert order == [1]
+    assert engine.now == 50  # clock advanced to the horizon
+    engine.run()
+    assert order == [1, 2]
+
+
+def test_events_scheduled_during_run_execute():
+    engine = Engine()
+    order = []
+
+    def first():
+        order.append("first")
+        engine.schedule(5, order.append, "nested")
+
+    engine.schedule(10, first)
+    engine.run()
+    assert order == ["first", "nested"]
+    assert engine.now == 15
+
+
+def test_negative_delay_rejected():
+    engine = Engine()
+    with pytest.raises(ValueError):
+        engine.schedule(-1, lambda: None)
+
+
+def test_schedule_at_absolute_time():
+    engine = Engine()
+    seen = []
+    engine.schedule_at(42, seen.append, "x")
+    engine.run()
+    assert engine.now == 42
+    assert seen == ["x"]
+
+
+def test_pending_counts_live_events():
+    engine = Engine()
+    keep = engine.schedule(10, lambda: None)
+    drop = engine.schedule(20, lambda: None)
+    drop.cancel()
+    assert engine.pending() == 1
+    assert keep is not None
+
+
+def test_peek_time_skips_cancelled():
+    engine = Engine()
+    first = engine.schedule(5, lambda: None)
+    engine.schedule(9, lambda: None)
+    first.cancel()
+    assert engine.peek_time() == 9
+
+
+def test_max_events_bound():
+    engine = Engine()
+    for _ in range(10):
+        engine.schedule(1, lambda: None)
+    executed = engine.run(max_events=3)
+    assert executed == 3
+    assert engine.pending() == 7
+
+
+def test_events_executed_accumulates():
+    engine = Engine()
+    engine.schedule(1, lambda: None)
+    engine.schedule(2, lambda: None)
+    engine.run()
+    assert engine.events_executed == 2

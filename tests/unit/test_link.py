@@ -1,0 +1,79 @@
+"""Ports and links: serialization, propagation, transmit loop."""
+
+import pytest
+
+from repro.net.link import Link, Port
+from repro.net.queues import DropTailQueue
+from repro.sim.engine import Engine
+from tests.helpers import SinkDevice, mk_data
+
+
+def _wire(engine, rate_bps=1_000_000_000, delay_ns=1_000):
+    sink = SinkDevice()
+    port = Port(engine, SinkDevice("src"), 0, DropTailQueue(1_000_000))
+    port.attach(Link(engine, rate_bps, delay_ns, sink, 0))
+    return port, sink
+
+
+def test_delivery_time_is_serialization_plus_propagation():
+    engine = Engine()
+    port, sink = _wire(engine, rate_bps=10 ** 9, delay_ns=1_000)
+    packet = mk_data(payload=1460)  # 1500 wire bytes -> 12 us at 1 Gbps
+    port.enqueue(packet)
+    engine.run()
+    assert sink.received == [packet]
+    assert engine.now == 12_000 + 1_000
+
+
+def test_back_to_back_packets_serialize_sequentially():
+    engine = Engine()
+    port, sink = _wire(engine, rate_bps=10 ** 9, delay_ns=0)
+    first, second = mk_data(payload=1460), mk_data(payload=1460)
+    port.enqueue(first)
+    port.enqueue(second)
+    engine.run()
+    assert sink.received == [first, second]
+    assert engine.now == 24_000  # two serializations, no overlap
+
+
+def test_port_counts_bytes_and_packets():
+    engine = Engine()
+    port, _ = _wire(engine)
+    packet = mk_data(payload=1000)
+    port.enqueue(packet)
+    engine.run()
+    assert port.packets_sent == 1
+    assert port.bytes_sent == packet.wire_bytes
+
+
+def test_port_idle_until_enqueue():
+    engine = Engine()
+    port, sink = _wire(engine)
+    engine.run()
+    assert not port.busy and sink.received == []
+
+
+def test_enqueue_while_busy_waits():
+    engine = Engine()
+    port, sink = _wire(engine, rate_bps=10 ** 9, delay_ns=0)
+    port.enqueue(mk_data(payload=1460))
+    engine.run(until=6_000)  # mid-serialization
+    assert port.busy
+    port.enqueue(mk_data(payload=1460))
+    engine.run()
+    assert len(sink.received) == 2
+
+
+def test_link_validations():
+    engine = Engine()
+    sink = SinkDevice()
+    with pytest.raises(ValueError):
+        Link(engine, 0, 0, sink, 0)
+    with pytest.raises(ValueError):
+        Link(engine, 1, -1, sink, 0)
+
+
+def test_peer_exposed():
+    engine = Engine()
+    port, sink = _wire(engine)
+    assert port.peer is sink

@@ -1,0 +1,130 @@
+"""Metrics collector and statistics helpers."""
+
+import math
+
+import pytest
+
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.stats import cdf_points, mean, percentile
+from repro.sim.units import SECOND
+
+
+def test_mean_and_empty_mean():
+    assert mean([1, 2, 3]) == 2
+    assert math.isnan(mean([]))
+
+
+def test_percentile_interpolation():
+    values = [10, 20, 30, 40]
+    assert percentile(values, 0) == 10
+    assert percentile(values, 100) == 40
+    assert percentile(values, 50) == 25
+    assert percentile([7], 99) == 7
+    assert math.isnan(percentile([], 50))
+
+
+def test_percentile_bounds():
+    with pytest.raises(ValueError):
+        percentile([1], 101)
+
+
+def test_cdf_points():
+    assert cdf_points([3, 1, 2]) == [(1, 1 / 3), (2, 2 / 3), (3, 1.0)]
+
+
+def test_flow_lifecycle_and_fct():
+    metrics = MetricsCollector()
+    metrics.flow_started(1, 0, 1, 1000, start_ns=SECOND)
+    assert not metrics.flows[1].completed
+    metrics.flow_completed(1, end_ns=2 * SECOND)
+    assert metrics.flows[1].fct_ns == SECOND
+    assert metrics.mean_fct_s() == 1.0
+    assert metrics.flow_completion_pct() == 100.0
+
+
+def test_flow_completed_idempotent():
+    metrics = MetricsCollector()
+    metrics.flow_started(1, 0, 1, 1000, 0)
+    metrics.flow_completed(1, 100)
+    metrics.flow_completed(1, 999)
+    assert metrics.flows[1].end_ns == 100
+
+
+def test_query_completes_when_all_flows_do():
+    metrics = MetricsCollector()
+    metrics.query_started(5, client=0, start_ns=0, n_flows=2)
+    metrics.flow_started(1, 1, 0, 100, 0, is_incast=True, query_id=5)
+    metrics.flow_started(2, 2, 0, 100, 0, is_incast=True, query_id=5)
+    metrics.flow_completed(1, SECOND)
+    assert not metrics.queries[5].completed
+    metrics.flow_completed(2, 3 * SECOND)
+    assert metrics.queries[5].completed
+    assert metrics.queries[5].qct_ns == 3 * SECOND
+    assert metrics.mean_qct_s() == 3.0
+    assert metrics.query_completion_pct() == 100.0
+
+
+def test_incomplete_stats_are_nan_or_partial():
+    metrics = MetricsCollector()
+    assert math.isnan(metrics.flow_completion_pct())
+    assert math.isnan(metrics.mean_qct_s())
+    metrics.flow_started(1, 0, 1, 100, 0)
+    assert metrics.flow_completion_pct() == 0.0
+
+
+def test_fct_filters():
+    metrics = MetricsCollector()
+    metrics.flow_started(1, 0, 1, 50_000, 0, is_incast=True, query_id=None)
+    metrics.flow_started(2, 0, 1, 500_000, 0)
+    metrics.flow_completed(1, SECOND)
+    metrics.flow_completed(2, 2 * SECOND)
+    assert metrics.mean_fct_s(incast_only=True) == 1.0
+    assert metrics.mean_fct_s(background_only=True) == 2.0
+    assert metrics.mean_fct_s(max_size=100_000) == 1.0
+    assert metrics.mean_fct_s(min_size=100_000) == 2.0
+
+
+def test_goodput_counts_partial_deliveries():
+    metrics = MetricsCollector()
+    metrics.flow_started(1, 0, 1, 1000, 0)
+    metrics.flows[1].bytes_delivered = 500
+    assert metrics.goodput_bps(SECOND) == 500 * 8
+    metrics.flow_completed(1, SECOND)
+    assert metrics.goodput_bps(SECOND) == 1000 * 8
+
+
+def test_goodput_min_size_filter():
+    metrics = MetricsCollector()
+    metrics.flow_started(1, 0, 1, 100, 0)
+    metrics.flow_started(2, 0, 1, 10_000_000, 0)
+    metrics.flow_completed(1, 1)
+    metrics.flows[2].bytes_delivered = 2_000_000
+    elephant_only = metrics.goodput_bps(SECOND, min_size=1_000_000)
+    assert elephant_only == 2_000_000 * 8
+
+
+def test_network_counters_derived_metrics():
+    metrics = MetricsCollector()
+    counters = metrics.counters
+    counters.forwarded = 90
+    counters.drops["overflow"] = 10
+    assert counters.total_drops == 10
+    assert counters.drop_rate() == pytest.approx(0.1)
+    counters.delivered = 4
+    counters.hops_delivered = 10
+    assert counters.mean_hops() == 2.5
+
+
+def test_drop_rate_empty_network():
+    metrics = MetricsCollector()
+    assert metrics.counters.drop_rate() == 0.0
+    assert math.isnan(metrics.counters.mean_hops())
+
+
+def test_p99_uses_percentile():
+    metrics = MetricsCollector()
+    for i in range(100):
+        metrics.flow_started(i, 0, 1, 100, 0)
+        metrics.flow_completed(i, (i + 1) * SECOND)
+    assert metrics.p99_fct_s() == pytest.approx(percentile(
+        [float(i + 1) for i in range(100)], 99))

@@ -1,0 +1,218 @@
+"""Vertigo RX ordering component state machine (paper §3.3)."""
+
+from repro.core.flowinfo import FlowInfo, MarkingDiscipline, boost_rfs
+from repro.core.ordering import OrderingComponent
+from repro.sim.engine import Engine
+from tests.helpers import mk_data
+
+FLOW_SIZE = 5 * 1000  # five 1000-byte packets
+
+
+def _packets(flow_id=1, size=FLOW_SIZE, payload=1000):
+    """In-order SRPT-marked packets of a flow."""
+    packets = []
+    seq = 0
+    while seq < size:
+        chunk = min(payload, size - seq)
+        packet = mk_data(flow_id=flow_id, seq=seq, payload=chunk)
+        packet.flowinfo = FlowInfo(rfs=size - seq, first=(seq == 0))
+        packets.append(packet)
+        seq += chunk
+    return packets
+
+
+def _component(engine, timeout_ns=360_000,
+               discipline=MarkingDiscipline.SRPT):
+    delivered = []
+    component = OrderingComponent(engine, delivered.append,
+                                  timeout_ns=timeout_ns,
+                                  discipline=discipline)
+    return component, delivered
+
+
+def test_in_order_packets_pass_straight_through():
+    engine = Engine()
+    component, delivered = _component(engine)
+    packets = _packets()
+    for packet in packets:
+        component.on_packet(packet)
+    assert delivered == packets
+    assert component.active_flows() == 0  # flow completed, state dropped
+
+
+def test_reordered_packets_are_resequenced():
+    engine = Engine()
+    component, delivered = _component(engine)
+    p = _packets()
+    component.on_packet(p[0])
+    component.on_packet(p[2])  # early: buffered
+    assert delivered == [p[0]]
+    component.on_packet(p[1])  # fills the gap: both released in order
+    assert delivered == [p[0], p[1], p[2]]
+    component.on_packet(p[3])
+    component.on_packet(p[4])
+    assert delivered == p
+
+
+def test_fully_reversed_arrival_is_restored():
+    engine = Engine()
+    component, delivered = _component(engine)
+    p = _packets()
+    for packet in reversed(p):
+        component.on_packet(packet)
+    assert delivered == p
+
+
+def test_timeout_releases_up_to_next_gap():
+    engine = Engine()
+    component, delivered = _component(engine, timeout_ns=100_000)
+    p = _packets()
+    component.on_packet(p[0])
+    component.on_packet(p[2])
+    component.on_packet(p[3])   # contiguous early run: p2, p3
+    assert delivered == [p[0]]
+    engine.run()                # let the reordering timeout fire
+    assert delivered == [p[0], p[2], p[3]]
+    assert component.timeouts_fired == 1
+
+
+def test_timeout_then_late_packet_passes_immediately():
+    engine = Engine()
+    component, delivered = _component(engine, timeout_ns=100_000)
+    p = _packets()
+    component.on_packet(p[0])
+    component.on_packet(p[2])
+    engine.run()                # timeout releases p2; expectation moves on
+    component.on_packet(p[1])   # late: handed straight up (event 3)
+    assert delivered == [p[0], p[2], p[1]]
+
+
+def test_two_gaps_released_one_per_timeout():
+    engine = Engine()
+    component, delivered = _component(engine, timeout_ns=100_000)
+    p = _packets()
+    component.on_packet(p[0])
+    component.on_packet(p[2])                      # gap at p1, waits from t=0
+    engine.schedule(80_000, component.on_packet, p[4])  # gap at p3, from t=80k
+    engine.run(until=120_000)
+    # First timeout (t=100k) releases only the run up to the next gap.
+    assert delivered == [p[0], p[2]]
+    engine.run()
+    # p4's own wait budget expires 100k after *its* arrival (t=180k).
+    assert delivered == [p[0], p[2], p[4]]
+    assert component.timeouts_fired == 2
+    assert engine.now >= 180_000
+
+
+def test_first_packet_missing_buffers_from_birth():
+    engine = Engine()
+    component, delivered = _component(engine, timeout_ns=100_000)
+    p = _packets()
+    component.on_packet(p[1])   # no first flag, no state yet
+    assert delivered == []
+    component.on_packet(p[0])   # first arrives: both drain in order
+    assert delivered == [p[0], p[1]]
+
+
+def test_first_packet_missing_timeout_flushes():
+    engine = Engine()
+    component, delivered = _component(engine, timeout_ns=100_000)
+    p = _packets()
+    component.on_packet(p[1])
+    component.on_packet(p[2])
+    engine.run()
+    assert delivered == [p[1], p[2]]  # transport sees the hole and reacts
+
+
+def test_boosted_retransmission_is_unrotated():
+    engine = Engine()
+    component, delivered = _component(engine)
+    p = _packets()
+    component.on_packet(p[0])
+    retx = mk_data(flow_id=1, seq=1000, payload=1000)
+    retx.flowinfo = FlowInfo(rfs=boost_rfs(FLOW_SIZE - 1000, 2), retcnt=2)
+    component.on_packet(retx)   # wire RFS is rotated; must still slot in
+    assert delivered == [p[0], retx]
+
+
+def test_duplicate_of_buffered_early_packet_ignored():
+    engine = Engine()
+    component, delivered = _component(engine)
+    p = _packets()
+    component.on_packet(p[0])
+    component.on_packet(p[2])
+    dup = _packets()[2]
+    component.on_packet(dup)    # same tag already buffered
+    component.on_packet(p[1])
+    assert delivered == [p[0], p[1], p[2]]  # dup was dropped silently
+
+
+def test_duplicate_of_delivered_packet_passes_up():
+    engine = Engine()
+    component, delivered = _component(engine)
+    p = _packets()
+    component.on_packet(p[0])
+    dup = _packets()[0]
+    component.on_packet(dup)    # tag above expectation: late duplicate
+    assert delivered == [p[0], dup]
+
+
+def test_unmarked_packets_bypass():
+    engine = Engine()
+    component, delivered = _component(engine)
+    plain = mk_data(flow_id=9, seq=0, payload=500)
+    component.on_packet(plain)
+    assert delivered == [plain]
+    assert component.active_flows() == 0
+
+
+def test_flow_done_flushes_residue():
+    engine = Engine()
+    component, delivered = _component(engine)
+    p = _packets()
+    component.on_packet(p[2])   # early, buffered, no first packet yet
+    component.flow_done(1)
+    assert p[2] in delivered
+    assert component.active_flows() == 0
+
+
+def test_flows_are_independent():
+    engine = Engine()
+    component, delivered = _component(engine)
+    a = _packets(flow_id=1)
+    b = _packets(flow_id=2)
+    component.on_packet(a[0])
+    component.on_packet(b[0])
+    component.on_packet(b[2])   # flow 2 goes out-of-order
+    component.on_packet(a[1])   # flow 1 keeps flowing in-order
+    assert a[1] in delivered
+    assert b[2] not in delivered
+
+
+def test_timer_disarms_when_gaps_fill():
+    engine = Engine()
+    component, delivered = _component(engine, timeout_ns=100_000)
+    p = _packets()
+    component.on_packet(p[0])
+    component.on_packet(p[2])
+    component.on_packet(p[1])
+    engine.run()
+    assert component.timeouts_fired == 0
+    assert delivered == [p[0], p[1], p[2]]
+
+
+def test_las_direction_increasing_tags():
+    engine = Engine()
+    component, delivered = _component(engine,
+                                      discipline=MarkingDiscipline.LAS)
+    size, payload = 4000, 1000
+    packets = []
+    for seq in range(0, size, payload):
+        packet = mk_data(flow_id=1, seq=seq, payload=payload)
+        packet.flowinfo = FlowInfo(rfs=seq, first=(seq == 0))
+        packets.append(packet)
+    component.on_packet(packets[0])
+    component.on_packet(packets[2])  # early under LAS = larger tag
+    assert delivered == [packets[0]]
+    component.on_packet(packets[1])
+    assert delivered == packets[:3]

@@ -1,0 +1,54 @@
+"""Packet construction."""
+
+import pytest
+
+from repro.core.flowinfo import FlowInfo
+from repro.net.packet import (
+    ACK_WIRE_BYTES,
+    HEADER_BYTES,
+    PacketKind,
+    ack_packet,
+    data_packet,
+)
+
+
+def test_data_packet_wire_size_includes_headers():
+    packet = data_packet(1, 2, 7, seq=0, payload=1460)
+    assert packet.kind is PacketKind.DATA
+    assert packet.wire_bytes == 1460 + HEADER_BYTES
+    assert packet.end_seq == 1460
+
+
+def test_data_packet_payload_bounds():
+    with pytest.raises(ValueError):
+        data_packet(1, 2, 7, seq=0, payload=0)
+    with pytest.raises(ValueError):
+        data_packet(1, 2, 7, seq=0, payload=2000, mss=1460)
+
+
+def test_ack_packet_fields():
+    ack = ack_packet(2, 1, 7, ack_no=2920, ece=True, ts_echo=555)
+    assert ack.kind is PacketKind.ACK
+    assert ack.wire_bytes == ACK_WIRE_BYTES
+    assert ack.ack_no == 2920
+    assert ack.ece and ack.ts_echo == 555
+
+
+def test_uids_are_unique():
+    a = data_packet(1, 2, 7, 0, 100)
+    b = data_packet(1, 2, 7, 0, 100)
+    assert a.uid != b.uid
+
+
+def test_rank_uses_flowinfo_when_present():
+    packet = data_packet(1, 2, 7, 0, 100)
+    assert packet.rank() == packet.wire_bytes  # unmarked: ranks by size
+    packet.flowinfo = FlowInfo(rfs=123456)
+    assert packet.rank() == 123456
+
+
+def test_ecn_fields_default_off():
+    packet = data_packet(1, 2, 7, 0, 100)
+    assert not packet.ecn_capable and not packet.ecn_ce
+    marked = data_packet(1, 2, 7, 0, 100, ecn_capable=True)
+    assert marked.ecn_capable

@@ -1,0 +1,109 @@
+"""PIEO-style rank queue."""
+
+import pytest
+
+from repro.core.scheduler import RankQueue
+
+
+def test_pop_min_orders_by_rank():
+    queue = RankQueue()
+    for rank in (30, 10, 20):
+        queue.push(rank, f"r{rank}")
+    assert [queue.pop_min()[0] for _ in range(3)] == [10, 20, 30]
+
+
+def test_pop_max_orders_by_rank():
+    queue = RankQueue()
+    for rank in (30, 10, 20):
+        queue.push(rank, f"r{rank}")
+    assert [queue.pop_max()[0] for _ in range(3)] == [30, 20, 10]
+
+
+def test_mixed_min_max_pops():
+    queue = RankQueue()
+    for rank in range(10):
+        queue.push(rank, rank)
+    assert queue.pop_min() == (0, 0)
+    assert queue.pop_max() == (9, 9)
+    assert queue.pop_max() == (8, 8)
+    assert queue.pop_min() == (1, 1)
+    assert len(queue) == 6
+
+
+def test_equal_ranks_min_end_is_fifo():
+    queue = RankQueue()
+    queue.push(5, "first")
+    queue.push(5, "second")
+    assert queue.pop_min()[1] == "first"
+    assert queue.pop_min()[1] == "second"
+
+
+def test_equal_ranks_max_end_evicts_newest():
+    # A displaced packet should be the most recent arrival among equals,
+    # keeping the FIFO order of the survivors.
+    queue = RankQueue()
+    queue.push(5, "old")
+    queue.push(5, "new")
+    assert queue.pop_max()[1] == "new"
+
+
+def test_peek_does_not_remove():
+    queue = RankQueue()
+    queue.push(1, "a")
+    queue.push(2, "b")
+    assert queue.peek_min() == (1, "a")
+    assert queue.peek_max() == (2, "b")
+    assert len(queue) == 2
+
+
+def test_peek_empty_returns_none():
+    queue = RankQueue()
+    assert queue.peek_min() is None
+    assert queue.peek_max() is None
+
+
+def test_pop_empty_raises():
+    queue = RankQueue()
+    with pytest.raises(IndexError):
+        queue.pop_min()
+    with pytest.raises(IndexError):
+        queue.pop_max()
+
+
+def test_len_and_bool():
+    queue = RankQueue()
+    assert not queue
+    queue.push(1, "x")
+    assert queue and len(queue) == 1
+    queue.pop_min()
+    assert not queue
+
+
+def test_items_snapshot_sorted():
+    queue = RankQueue()
+    for rank in (5, 1, 3):
+        queue.push(rank, str(rank))
+    queue.pop_max()  # drop rank 5
+    assert queue.items() == [(1, "1"), (3, "3")]
+
+
+def test_interleaved_operations_stay_consistent():
+    queue = RankQueue()
+    import random
+    rng = random.Random(0)
+    shadow = []
+    for step in range(500):
+        op = rng.random()
+        if op < 0.5 or not shadow:
+            rank = rng.randrange(100)
+            queue.push(rank, step)
+            shadow.append(rank)
+        elif op < 0.75:
+            rank, _ = queue.pop_min()
+            assert rank == min(shadow)
+            shadow.remove(rank)
+        else:
+            rank, _ = queue.pop_max()
+            assert rank == max(shadow)
+            shadow.remove(rank)
+        assert len(queue) == len(shadow)

@@ -1,0 +1,39 @@
+"""Sweep helpers and table formatting."""
+
+from repro.experiments.sweeps import format_table
+
+
+def test_format_table_alignment_and_order():
+    rows = [
+        {"system": "ecmp", "mean_qct_s": 0.123456, "drops": 10},
+        {"system": "vertigo", "mean_qct_s": 0.01, "drops": 0},
+    ]
+    table = format_table(rows)
+    lines = table.splitlines()
+    assert lines[0].split() == ["system", "mean_qct_s", "drops"]
+    assert "ecmp" in lines[2] and "vertigo" in lines[3]
+    # Columns align: every line has the header's width.
+    assert all(len(line) <= len(lines[0]) + 2 for line in lines[2:])
+
+
+def test_format_table_column_selection():
+    rows = [{"a": 1, "b": 2, "c": 3}]
+    table = format_table(rows, columns=["c", "a"])
+    header = table.splitlines()[0].split()
+    assert header == ["c", "a"]
+    assert "2" not in table.splitlines()[2]
+
+
+def test_format_table_empty():
+    assert format_table([]) == "(no rows)"
+
+
+def test_format_table_float_precision():
+    table = format_table([{"x": 0.000123456}])
+    assert "0.0001235" in table  # 4 significant digits
+
+
+def test_format_table_missing_cells_blank():
+    rows = [{"a": 1}, {"a": 2, "b": 3}]
+    table = format_table(rows, columns=["a", "b"])
+    assert table.splitlines()[2].split() == ["1"]

@@ -1,0 +1,70 @@
+"""Restartable timers."""
+
+from repro.sim.engine import Engine
+from repro.sim.timers import Timer
+
+
+def test_timer_fires_once():
+    engine = Engine()
+    fired = []
+    timer = Timer(engine, fired.append, "x")
+    timer.start(100)
+    engine.run()
+    assert fired == ["x"]
+    assert not timer.armed
+
+
+def test_timer_restart_replaces_previous():
+    engine = Engine()
+    fired = []
+    timer = Timer(engine, lambda: fired.append(engine.now))
+    timer.start(100)
+    timer.start(500)
+    engine.run()
+    assert fired == [500]
+
+
+def test_timer_stop_cancels():
+    engine = Engine()
+    fired = []
+    timer = Timer(engine, fired.append, 1)
+    timer.start(100)
+    timer.stop()
+    engine.run()
+    assert fired == []
+    assert not timer.armed
+
+
+def test_timer_expires_at_and_remaining():
+    engine = Engine()
+    timer = Timer(engine, lambda: None)
+    assert timer.expires_at is None
+    assert timer.remaining() is None
+    timer.start(250)
+    assert timer.expires_at == 250
+    assert timer.remaining() == 250
+
+
+def test_timer_rearm_inside_callback():
+    engine = Engine()
+    fires = []
+
+    def on_fire():
+        fires.append(engine.now)
+        if len(fires) < 3:
+            timer.start(10)
+
+    timer = Timer(engine, on_fire)
+    timer.start(10)
+    engine.run()
+    assert fires == [10, 20, 30]
+
+
+def test_timer_armed_property_tracks_state():
+    engine = Engine()
+    timer = Timer(engine, lambda: None)
+    assert not timer.armed
+    timer.start(5)
+    assert timer.armed
+    engine.run()
+    assert not timer.armed

@@ -1,0 +1,107 @@
+"""Leaf-spine and fat-tree structure and multipath routing."""
+
+import pytest
+
+from repro.net.topology import (
+    FatTree,
+    LeafSpine,
+    paper_fat_tree,
+    paper_leaf_spine,
+)
+
+
+def test_paper_leaf_spine_dimensions():
+    topo = paper_leaf_spine()
+    assert topo.n_hosts == 320
+    assert len(topo.switch_names) == 12  # 8 leaves + 4 spines
+    assert len(topo.switch_adjacency) == 32  # full bipartite 8x4
+
+
+def test_paper_fat_tree_dimensions():
+    topo = paper_fat_tree()
+    assert topo.n_hosts == 128
+    assert len(topo.switch_names) == 80  # 32 edge + 32 agg + 16 core
+
+
+def test_leaf_spine_host_tor_mapping():
+    topo = LeafSpine(n_spines=2, n_leaves=3, hosts_per_leaf=4)
+    assert topo.host_tor(0) == "leaf0"
+    assert topo.host_tor(3) == "leaf0"
+    assert topo.host_tor(4) == "leaf1"
+    assert topo.host_tor(11) == "leaf2"
+    with pytest.raises(ValueError):
+        topo.host_tor(12)
+
+
+def test_leaf_spine_validation():
+    with pytest.raises(ValueError):
+        LeafSpine(0, 2, 2)
+
+
+def test_fat_tree_validation():
+    with pytest.raises(ValueError):
+        FatTree(3)  # odd
+    with pytest.raises(ValueError):
+        FatTree(0)
+
+
+def test_fat_tree_host_tor_mapping():
+    topo = FatTree(4)  # 16 hosts, 2 per edge
+    assert topo.n_hosts == 16
+    assert topo.host_tor(0) == "edge0_0"
+    assert topo.host_tor(1) == "edge0_0"
+    assert topo.host_tor(2) == "edge0_1"
+    assert topo.host_tor(4) == "edge1_0"
+
+
+def test_fat_tree_degree_counts():
+    topo = FatTree(4)
+    neighbours = topo.neighbours()
+    for pod in range(4):
+        for i in range(2):
+            assert len(neighbours[f"edge{pod}_{i}"]) == 2  # up to aggs
+            assert len(neighbours[f"agg{pod}_{i}"]) == 4   # 2 edge + 2 core
+    for core in range(4):
+        assert len(neighbours[f"core{core}"]) == 4  # one agg per pod
+
+
+def test_leaf_spine_next_hops_all_spines_up():
+    topo = LeafSpine(n_spines=4, n_leaves=4, hosts_per_leaf=2)
+    table = topo.next_hop_table()
+    # From any other leaf, all 4 spines are equal-cost next hops.
+    assert set(table["leaf1"]["leaf0"]) == {f"spine{i}" for i in range(4)}
+    # From a spine, the only next hop is the target leaf itself.
+    assert table["spine0"]["leaf2"] == ("leaf2",)
+
+
+def test_fat_tree_next_hops_match_updown_routing():
+    topo = FatTree(4)
+    table = topo.next_hop_table()
+    # Same pod, different edge: via both aggs of the pod.
+    assert set(table["edge0_0"]["edge0_1"]) == {"agg0_0", "agg0_1"}
+    # Different pod from an edge: still both aggs (4 paths overall).
+    assert set(table["edge0_0"]["edge1_0"]) == {"agg0_0", "agg0_1"}
+    # Aggs reach remote pods via their two cores.
+    assert set(table["agg0_0"]["edge1_0"]) == {"core0", "core1"}
+    # Core has exactly one downward path per pod.
+    assert table["core0"]["edge1_0"] == ("agg1_0",)
+
+
+def test_next_hop_distances_decrease_toward_target():
+    topo = FatTree(4)
+    table = topo.next_hop_table()
+    for tor in {topo.host_tor(h) for h in range(topo.n_hosts)}:
+        distances = topo.bfs_distances(tor)
+        for switch in topo.switch_names:
+            if switch == tor:
+                continue
+            for hop in table[switch][tor]:
+                assert distances[hop] == distances[switch] - 1
+
+
+def test_bfs_distances_leaf_spine():
+    topo = LeafSpine(n_spines=2, n_leaves=3, hosts_per_leaf=1)
+    distances = topo.bfs_distances("leaf0")
+    assert distances["leaf0"] == 0
+    assert distances["spine0"] == 1
+    assert distances["leaf2"] == 2

@@ -1,0 +1,73 @@
+"""Unit conversions."""
+
+import pytest
+
+from repro.sim.units import (
+    MICROSECOND,
+    MILLISECOND,
+    SECOND,
+    bits_to_bytes,
+    bytes_to_bits,
+    fmt_time,
+    gbps,
+    kb,
+    mb,
+    mbps,
+    msecs,
+    seconds,
+    transmission_delay_ns,
+    usecs,
+)
+
+
+def test_time_constants_are_nanoseconds():
+    assert SECOND == 1_000_000_000
+    assert MILLISECOND == 1_000_000
+    assert MICROSECOND == 1_000
+
+
+def test_seconds_conversion():
+    assert seconds(1.5) == 1_500_000_000
+    assert seconds(0) == 0
+
+
+def test_usecs_and_msecs():
+    assert usecs(360) == 360_000
+    assert msecs(10) == 10_000_000
+
+
+def test_rate_helpers():
+    assert gbps(10) == 10_000_000_000
+    assert mbps(200) == 200_000_000
+
+
+def test_size_helpers():
+    assert kb(300) == 300_000
+    assert mb(1.5) == 1_500_000
+
+
+def test_bits_bytes_roundtrip():
+    assert bytes_to_bits(125) == 1000
+    assert bits_to_bytes(1000) == 125
+
+
+def test_transmission_delay_exact():
+    # 1500 bytes at 1 Gbps = 12 us exactly.
+    assert transmission_delay_ns(1500, 10 ** 9) == 12_000
+
+
+def test_transmission_delay_rounds_up():
+    # 1 byte at 3 bps -> 8/3 s, must round *up* so packets never overlap.
+    assert transmission_delay_ns(1, 3) == (8 * SECOND + 2) // 3
+
+
+def test_transmission_delay_rejects_bad_rate():
+    with pytest.raises(ValueError):
+        transmission_delay_ns(100, 0)
+
+
+def test_fmt_time_units():
+    assert fmt_time(500) == "500ns"
+    assert fmt_time(2_500) == "2.500us"
+    assert fmt_time(3_000_000) == "3.000ms"
+    assert fmt_time(2 * SECOND).endswith("s")

@@ -1,0 +1,73 @@
+"""Byte-exact flowinfo wire encodings (paper Figure 3)."""
+
+import pytest
+
+from repro.core.flowinfo import FlowInfo
+from repro.core.wire import (
+    FLOWINFO_OPTION_TYPE,
+    IPV4_OPTION_LEN,
+    L3_HEADER_LEN,
+    decode_ipv4_option,
+    decode_l3,
+    encode_ipv4_option,
+    encode_l3,
+)
+
+
+def test_l3_header_is_seven_bytes():
+    # Paper: "FLOWINFO as a Layer-3 Header — additional overhead: 7 bytes".
+    assert len(encode_l3(FlowInfo(rfs=40_000))) == 7 == L3_HEADER_LEN
+
+
+def test_ipv4_option_is_eight_bytes():
+    # Paper: "FLOWINFO as IPv4 Option header — additional overhead: 8 bytes".
+    assert len(encode_ipv4_option(FlowInfo(rfs=40_000))) == 8 \
+        == IPV4_OPTION_LEN
+
+
+def test_l3_roundtrip():
+    info = FlowInfo(rfs=123_456, retcnt=5, flow_id3=3, first=True)
+    decoded, ethertype = decode_l3(encode_l3(info, inner_ethertype=0x0800))
+    assert decoded == info
+    assert ethertype == 0x0800
+
+
+def test_ipv4_option_roundtrip():
+    info = FlowInfo(rfs=2 ** 32 - 1, retcnt=15, flow_id3=7, first=False)
+    assert decode_ipv4_option(encode_ipv4_option(info)) == info
+
+
+def test_l3_decode_tolerates_trailing_payload():
+    info = FlowInfo(rfs=99)
+    decoded, _ = decode_l3(encode_l3(info) + b"payload bytes")
+    assert decoded == info
+
+
+def test_decode_short_buffers_rejected():
+    with pytest.raises(ValueError):
+        decode_l3(b"\x00\x01")
+    with pytest.raises(ValueError):
+        decode_ipv4_option(b"\x00")
+
+
+def test_ipv4_option_type_checked():
+    raw = bytearray(encode_ipv4_option(FlowInfo(rfs=1)))
+    raw[0] = 0x01
+    with pytest.raises(ValueError):
+        decode_ipv4_option(bytes(raw))
+
+
+def test_option_type_has_copied_bit():
+    # The option must be copied into every fragment (copied bit set).
+    assert FLOWINFO_OPTION_TYPE & 0x80
+
+
+def test_field_packing_no_crosstalk():
+    for retcnt in (0, 1, 15):
+        for flow_id3 in (0, 5, 7):
+            for first in (False, True):
+                info = FlowInfo(rfs=7, retcnt=retcnt, flow_id3=flow_id3,
+                                first=first)
+                decoded = decode_ipv4_option(encode_ipv4_option(info))
+                assert (decoded.retcnt, decoded.flow_id3, decoded.first) \
+                    == (retcnt, flow_id3, first)
