@@ -1,0 +1,19 @@
+"""Correctness tooling for the simulator.
+
+Two halves, both machine-checking invariants the rest of the codebase is
+written against but that Python itself does not enforce:
+
+- :mod:`repro.analysis.lint` — an AST-based static checker
+  (``python -m repro.analysis.lint src/``) with simulator-specific rules
+  VR001–VR005: all randomness through named
+  :class:`~repro.sim.rng.RngRegistry` streams, no wall-clock reads in
+  simulation code, integer nanosecond/byte/bit-rate unit discipline, no
+  module-lifetime mutable state, no literal negative delays.
+- :mod:`repro.analysis.sanitize` — an opt-in runtime sanitizer
+  (``REPRO_SANITIZE=1`` or ``ExperimentConfig.sanitize``) wiring
+  event-time monotonicity, queue byte-accounting, switch conservation,
+  rank-queue heap and release-exactly-once checks into the hot paths,
+  at zero cost when disabled.
+"""
+
+__all__ = ["lint", "sanitize"]

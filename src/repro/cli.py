@@ -47,6 +47,9 @@ def build_parser() -> argparse.ArgumentParser:
                              "leaf-spine")
     parser.add_argument("--paper-scale", action="store_true",
                         help="full 320-server paper topology (very slow)")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="run with the runtime invariant sanitizer "
+                             "(repro.analysis.sanitize) enabled")
     return parser
 
 
@@ -58,22 +61,24 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
             incast_scale=args.incast_scale,
             incast_flow_bytes=args.incast_flow_bytes)
         config.seed = args.seed
-        return config
-    topology = FatTree(args.fat_tree) if args.fat_tree else None
-    return ExperimentConfig.bench_profile(
-        system=args.system, transport=args.transport,
-        bg_load=args.bg_load, incast_load=args.incast_load,
-        incast_scale=args.incast_scale,
-        incast_flow_bytes=args.incast_flow_bytes,
-        sim_time_ns=args.sim_ms * MILLISECOND,
-        topology=topology, seed=args.seed)
+    else:
+        topology = FatTree(args.fat_tree) if args.fat_tree else None
+        config = ExperimentConfig.bench_profile(
+            system=args.system, transport=args.transport,
+            bg_load=args.bg_load, incast_load=args.incast_load,
+            incast_scale=args.incast_scale,
+            incast_flow_bytes=args.incast_flow_bytes,
+            sim_time_ns=args.sim_ms * MILLISECOND,
+            topology=topology, seed=args.seed)
+    config.sanitize = args.sanitize
+    return config
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     config = config_from_args(args)
     print(f"running {args.system}+{args.transport} on "
-          f"{config.topology!r} for {config.sim_time_ns / 1e6:.0f} ms "
+          f"{config.topology!r} for {config.sim_time_ns // MILLISECOND} ms "
           f"simulated ...", file=sys.stderr)
     result = run_experiment(config)
     print(format_table([result.row()]))

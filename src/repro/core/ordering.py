@@ -26,9 +26,12 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from repro.analysis import sanitize as _sanitize
 from repro.core.flowinfo import MarkingDiscipline
+
+_SANITIZE = _sanitize.register(__name__)
 from repro.net.packet import Packet, PacketKind
 from repro.sim.engine import Engine
 from repro.sim.timers import Timer
@@ -66,12 +69,30 @@ class OrderingComponent:
                  ) -> None:
         self.engine = engine
         self.deliver = deliver
+        if _SANITIZE:
+            # Release-exactly-once: the shim must never hand the same
+            # packet object up twice (late *re-transmissions* are distinct
+            # packets and are legitimately passed through).  Bound at
+            # construction so the off path pays nothing per packet.
+            self._released_uids: Set[int] = set()
+            self.deliver = self._checked_deliver(deliver)
         self.timeout_ns = timeout_ns
         self.boost_factor = boost_factor
         self.discipline = discipline
         self._flows: Dict[int, _FlowOrderState] = {}
         self.packets_buffered = 0
         self.timeouts_fired = 0
+
+    def _checked_deliver(self, deliver: Callable[[Packet], None]
+                         ) -> Callable[[Packet], None]:
+        def checked(packet: Packet) -> None:
+            _sanitize.check(packet.uid not in self._released_uids,
+                            "ordering released packet uid=%d (flow %d) "
+                            "twice", packet.uid, packet.flow_id)
+            self._released_uids.add(packet.uid)
+            deliver(packet)
+
+        return checked
 
     # -- tag arithmetic -----------------------------------------------------------
 

@@ -17,12 +17,13 @@ O(log n) push, pop-min and pop-max, with exact byte accounting.
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import Any, Generic, List, Optional, Tuple, TypeVar
 
-T = TypeVar("T")
+from repro.analysis import sanitize as _sanitize
 
-_counter = itertools.count()
+_SANITIZE = _sanitize.register(__name__)
+
+T = TypeVar("T")
 
 
 class RankQueue(Generic[T]):
@@ -38,14 +39,20 @@ class RankQueue(Generic[T]):
         self._max_heap: List[Tuple[int, int, T]] = []
         self._dead: set[int] = set()
         self._len = 0
+        # Per-instance FIFO tie-break sequence; a process-global counter
+        # would couple independent queues' state across runs.
+        self._seq = 0
 
     def push(self, rank: int, item: T) -> None:
-        seq = next(_counter)
+        seq = self._seq
+        self._seq += 1
         heapq.heappush(self._min_heap, (rank, seq, item))
         # Negate seq as well so that among equal ranks the *latest* arrival
         # is at the top of the max heap (FIFO survivors at the min end).
         heapq.heappush(self._max_heap, (-rank, -seq, item))
         self._len += 1
+        if _SANITIZE:
+            self._sanitize_check()
 
     def _prune_min(self) -> None:
         heap = self._min_heap
@@ -80,6 +87,8 @@ class RankQueue(Generic[T]):
         rank, seq, item = heapq.heappop(self._min_heap)
         self._dead.add(seq)
         self._len -= 1
+        if _SANITIZE:
+            self._sanitize_check()
         return rank, item
 
     def pop_max(self) -> Tuple[int, T]:
@@ -89,7 +98,29 @@ class RankQueue(Generic[T]):
         neg_rank, neg_seq, item = heapq.heappop(self._max_heap)
         self._dead.add(-neg_seq)
         self._len -= 1
+        if _SANITIZE:
+            self._sanitize_check()
         return -neg_rank, item
+
+    def _sanitize_check(self) -> None:
+        """Lazy-deletion twin heaps must agree with the live count."""
+        _sanitize.check(self._len >= 0,
+                        "RankQueue length went negative: %d", self._len)
+        live_min = sum(1 for entry in self._min_heap
+                       if entry[1] not in self._dead)
+        live_max = sum(1 for entry in self._max_heap
+                       if -entry[1] not in self._dead)
+        _sanitize.check(live_min == self._len and live_max == self._len,
+                        "RankQueue heap invariant broken: %d live in min "
+                        "heap, %d in max heap, tracked len %d",
+                        live_min, live_max, self._len)
+        if self._len:
+            low = self.peek_min()
+            high = self.peek_max()
+            _sanitize.check(low is not None and high is not None
+                            and low[0] <= high[0],
+                            "RankQueue min rank exceeds max rank: %r > %r",
+                            low, high)
 
     def __len__(self) -> int:
         return self._len

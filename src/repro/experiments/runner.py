@@ -10,6 +10,7 @@ import itertools
 from dataclasses import dataclass, replace
 from typing import Dict, Optional
 
+from repro.analysis import sanitize as _sanitize
 from repro.core.flowinfo import MarkingDiscipline
 from repro.experiments.config import ExperimentConfig
 from repro.forwarding.dibs import DibsPolicy
@@ -146,7 +147,8 @@ class RunResult:
             "p99_qct_s": metrics.p99_qct_s(),
             "flow_completion_pct": metrics.flow_completion_pct(),
             "query_completion_pct": metrics.query_completion_pct(),
-            "goodput_gbps": metrics.goodput_bps(self.duration_ns) / 1e9,
+            # Reporting boundary: Gbit/s for the summary table.
+            "goodput_gbps": metrics.goodput_bps(self.duration_ns) / 1e9,  # noqa: VR003
             "drop_pct": 100 * counters.drop_rate(),
             "deflections": counters.deflections,
             "mean_hops": counters.mean_hops(),
@@ -156,7 +158,19 @@ class RunResult:
 
 
 def run_experiment(config: ExperimentConfig) -> RunResult:
-    """Build, run, and measure one simulation."""
+    """Build, run, and measure one simulation.
+
+    With ``config.sanitize`` the whole run — including network
+    construction, so construction-bound checks attach — executes under
+    the runtime invariant sanitizer.
+    """
+    if config.sanitize and not _sanitize.enabled():
+        with _sanitize.scoped(True):
+            return _run_experiment(config)
+    return _run_experiment(config)
+
+
+def _run_experiment(config: ExperimentConfig) -> RunResult:
     engine = Engine()
     rng = RngRegistry(config.seed)
     metrics = MetricsCollector()

@@ -149,7 +149,9 @@ class MetricsCollector:
                 continue
             if min_size is not None and flow.size < min_size:
                 continue
-            values.append(flow.fct_ns / SECOND)
+            # Reporting boundary: FCTs leave the simulator as float
+            # seconds, the unit the paper's figures use.
+            values.append(flow.fct_ns / SECOND)  # noqa: VR003
         return values
 
     def mean_fct_s(self, **filters) -> float:
@@ -162,8 +164,9 @@ class MetricsCollector:
         return self._fcts_s(**filters)
 
     def _qcts_s(self) -> List[float]:
-        return [query.qct_ns / SECOND for query in self.queries.values()
-                if query.completed]
+        # Reporting boundary: QCTs leave the simulator as float seconds.
+        return [query.qct_ns / SECOND  # noqa: VR003
+                for query in self.queries.values() if query.completed]
 
     def mean_qct_s(self) -> float:
         return mean(self._qcts_s())
@@ -194,4 +197,5 @@ class MetricsCollector:
         delivered = sum(
             flow.bytes_delivered for flow in self.flows.values()
             if min_size is None or flow.size >= min_size)
-        return delivered * 8 * SECOND / duration_ns
+        # Reporting boundary: goodput leaves the simulator as float bits/s.
+        return delivered * 8 * SECOND / duration_ns  # noqa: VR003

@@ -23,7 +23,9 @@ ACK_WIRE_BYTES = HEADER_BYTES
 #: Default maximum segment (payload) size in bytes.
 DEFAULT_MSS = 1460
 
-_packet_uid = itertools.count()
+# Process-global uid source: uids are used only for identity (never for
+# ordering or arithmetic), so sharing the counter across runs is harmless.
+_packet_uid = itertools.count()  # noqa: VR004
 
 
 class PacketKind(enum.Enum):

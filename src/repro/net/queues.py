@@ -21,8 +21,11 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, List, Optional
 
+from repro.analysis import sanitize as _sanitize
 from repro.core.scheduler import RankQueue
 from repro.net.packet import Packet
+
+_SANITIZE = _sanitize.register(__name__)
 
 
 @dataclass
@@ -131,6 +134,28 @@ class _BoundedQueue:
             self.pool.on_pop(packet.wire_bytes)
         self.stats.dequeued += 1
 
+    def packets(self) -> List[Packet]:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def _sanitize_check(self) -> None:
+        """Byte-accounting invariants, recomputed from the live packets."""
+        tracked = sum(p.wire_bytes for p in self.packets())
+        _sanitize.check(tracked == self.bytes,
+                        "queue byte accounting drifted: tracked bytes=%d "
+                        "but enqueued packets sum to %d", self.bytes, tracked)
+        _sanitize.check(self.bytes >= 0,
+                        "queue occupancy went negative: %d", self.bytes)
+        if self.pool is None:
+            _sanitize.check(self.bytes <= self.capacity_bytes,
+                            "queue occupancy %d exceeds capacity %d",
+                            self.bytes, self.capacity_bytes)
+        else:
+            _sanitize.check(0 <= self.pool.used_bytes
+                            <= self.pool.total_bytes,
+                            "shared pool accounting broken: used=%d "
+                            "total=%d", self.pool.used_bytes,
+                            self.pool.total_bytes)
+
 
 class DropTailQueue(_BoundedQueue):
     """FIFO output queue with optional DCTCP-style ECN marking."""
@@ -146,10 +171,14 @@ class DropTailQueue(_BoundedQueue):
             raise OverflowError("push to full DropTailQueue")
         self._on_push(packet, now_ns)
         self._fifo.append(packet)
+        if _SANITIZE:
+            self._sanitize_check()
 
     def pop(self, now_ns: int = 0) -> Packet:
         packet = self._fifo.popleft()
         self._on_pop(packet, now_ns)
+        if _SANITIZE:
+            self._sanitize_check()
         return packet
 
     def __len__(self) -> int:
@@ -176,10 +205,14 @@ class RankedQueue(_BoundedQueue):
             raise OverflowError("push to full RankedQueue")
         self._on_push(packet, now_ns)
         self._ranked.push(packet.rank(), packet)
+        if _SANITIZE:
+            self._sanitize_check()
 
     def pop(self, now_ns: int = 0) -> Packet:
         _, packet = self._ranked.pop_min()
         self._on_pop(packet, now_ns)
+        if _SANITIZE:
+            self._sanitize_check()
         return packet
 
     def peek_tail(self) -> Optional[Packet]:
@@ -191,6 +224,8 @@ class RankedQueue(_BoundedQueue):
         """Extract the largest-RFS packet (PIEO tail extraction)."""
         _, packet = self._ranked.pop_max()
         self._on_pop(packet, now_ns)
+        if _SANITIZE:
+            self._sanitize_check()
         return packet
 
     def __len__(self) -> int:

@@ -12,7 +12,10 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple, Union
 
+from repro.analysis import sanitize as _sanitize
 from repro.metrics.collector import NetworkCounters
+
+_SANITIZE = _sanitize.register(__name__)
 from repro.net.link import Port
 from repro.net.packet import Packet
 from repro.net.queues import DropTailQueue, RankedQueue
@@ -57,11 +60,43 @@ class Switch:
     # -- dataplane ------------------------------------------------------------
 
     def receive(self, packet: Packet, in_port: int) -> None:
+        if _SANITIZE:
+            self._receive_sanitized(packet, in_port)
+            return
         packet.hops += 1
         if packet.hops > self.max_hops:
             self.drop(packet, "hop_limit")
             return
         self.policy.route(packet, in_port)
+
+    def _receive_sanitized(self, packet: Packet, in_port: int) -> None:
+        """Receive with the conservation invariant checked around routing.
+
+        Every arriving packet must end up enqueued (possibly displacing
+        others, which are themselves re-enqueued or dropped) or dropped
+        with a reason: resident + drops is conserved, nothing vanishes and
+        nothing is duplicated.  Routing is synchronous and confined to
+        this switch, so snapshotting around it is exact.
+        """
+        resident_before = self._resident_packets()
+        drops_before = self.counters.total_drops
+        packet.hops += 1
+        if packet.hops > self.max_hops:
+            self.drop(packet, "hop_limit")
+        else:
+            self.policy.route(packet, in_port)
+        dropped = self.counters.total_drops - drops_before
+        _sanitize.check(
+            self._resident_packets() + dropped == resident_before + 1,
+            "switch %s lost or duplicated a packet: resident %d -> %d "
+            "with %d drops while receiving %r", self.name, resident_before,
+            self._resident_packets(), dropped, packet)
+
+    def _resident_packets(self) -> int:
+        """Packets held by this switch: queued plus one per busy port."""
+        queued = sum(len(port.queue) for port in self.ports)
+        transmitting = sum(1 for port in self.ports if port.busy)
+        return queued + transmitting
 
     def candidates(self, dst: int) -> Tuple[int, ...]:
         try:

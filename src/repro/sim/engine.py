@@ -11,6 +11,10 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Optional
 
+from repro.analysis import sanitize as _sanitize
+
+_SANITIZE = _sanitize.register(__name__)
+
 
 class Event:
     """A scheduled callback.
@@ -62,6 +66,12 @@ class Engine:
         """
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
+        if _SANITIZE:
+            _sanitize.check(type(delay) is int,
+                            "schedule() delay must be an integer nanosecond "
+                            "count, got %r (%s)", delay, type(delay).__name__)
+            _sanitize.check(callable(fn),
+                            "schedule() callback %r is not callable", fn)
         event = Event(self.now + delay, priority, self._seq, fn, args)
         self._seq += 1
         heapq.heappush(self._heap, event)
@@ -98,6 +108,13 @@ class Engine:
                 if until is not None and event.time > until:
                     break
                 heapq.heappop(heap)
+                if _SANITIZE:
+                    _sanitize.check(type(event.time) is int,
+                                    "event time must be an integer "
+                                    "nanosecond count, got %r", event.time)
+                    _sanitize.check(event.time >= self.now,
+                                    "event calendar ran backwards: "
+                                    "%r < now=%d", event.time, self.now)
                 if event.time < self.now:  # pragma: no cover - invariant
                     raise RuntimeError("event scheduled in the past")
                 self.now = event.time

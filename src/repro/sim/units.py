@@ -4,6 +4,25 @@ All simulation time is kept as integer **nanoseconds** to avoid floating
 point drift over long runs; all data sizes are integer **bytes** and all
 rates are integer **bits per second**.  The helpers here convert between
 human-friendly quantities and those canonical units.
+
+Rounding contract
+-----------------
+The ``seconds``/``usecs``/``msecs``/``gbps``/``mbps``/``kb``/``mb``
+converters use Python's built-in :func:`round` — round-half-to-**even**
+("banker's rounding"), so ``seconds(0.5e-9) == 0`` but
+``seconds(1.5e-9) == 2``.  Sub-resolution values round to ``0``; callers
+that need a strictly positive duration must clamp (``max(1, ...)``).
+Because the input is a float, magnitudes whose product with the scale
+exceeds 2**53 (≈104 days for ``seconds``) are not exactly representable;
+for exact large quantities, do integer arithmetic with the ``SECOND`` /
+``MILLISECOND`` / ... constants instead of going through a float.
+:func:`transmission_delay_ns` is the exception: it is pure integer
+arithmetic and rounds **up** (ceiling) so back-to-back packets never
+overlap on the wire.
+
+This module is the single place float↔int unit conversion is allowed;
+everywhere else ``repro.analysis.lint`` rule VR003 enforces integer
+arithmetic on ``*_ns`` / ``*_bytes`` / ``*_bps`` quantities.
 """
 
 from __future__ import annotations

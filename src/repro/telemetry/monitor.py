@@ -93,12 +93,13 @@ class TelemetryMonitor:
                 delta = sent - self._last_bytes[key]
                 self._last_bytes[key] = sent
                 rate = port.link.rate_bps if port.link else 0
-                busy_ns = (delta * 8 * 1_000_000_000 / rate) if rate else 0
+                busy_ns = (delta * 8 * 1_000_000_000 // rate) if rate else 0
                 sample = PortSample(
                     time_ns=now, switch=switch.name, port=port.index,
-                    utilization=min(1.0, busy_ns / self.interval_ns),
+                    # Dimensionless ns/ns and byte/byte ratios.
+                    utilization=min(1.0, busy_ns / self.interval_ns),  # noqa: VR003
                     queue_bytes=port.queue.bytes,
-                    queue_fraction=port.queue.bytes
+                    queue_fraction=port.queue.bytes  # noqa: VR003
                     / port.queue.capacity_bytes)
                 self.samples.append(sample)
                 if hottest is None \

@@ -74,7 +74,9 @@ class SwiftSender(FlowSender):
             else:
                 self.cwnd += config.swift_ai * acked_packets * self.cwnd
         elif self._can_decrease():
-            excess = (rtt_ns - target) / rtt_ns
+            # Dimensionless delay-excess ratio (Swift's multiplicative
+            # decrease operates on fractions of the measured RTT).
+            excess = (rtt_ns - target) / rtt_ns  # noqa: VR003
             factor = max(1 - config.swift_beta * excess,
                          1 - config.swift_max_mdf)
             self.cwnd = max(self.cwnd * factor, self.min_cwnd)

@@ -21,11 +21,15 @@ FlowOpener = Callable[..., None]
 
 
 def poisson_rate_for_load(load: float, n_hosts: int, host_rate_bps: int,
-                          mean_flow_bytes: float) -> float:
-    """Network-wide flow arrival rate (flows/s) for a target load fraction."""
+                          mean_flow_bytes: float) -> float:  # noqa: VR003
+    """Network-wide flow arrival rate (flows/s) for a target load fraction.
+
+    ``mean_flow_bytes`` is a statistical mean and therefore fractional;
+    the returned arrival *rate* (flows/s) is likewise a float by nature.
+    """
     if not 0 <= load:
         raise ValueError("load must be non-negative")
-    return load * n_hosts * host_rate_bps / (8.0 * mean_flow_bytes)
+    return load * n_hosts * host_rate_bps / (8.0 * mean_flow_bytes)  # noqa: VR003
 
 
 class BackgroundTraffic:
@@ -45,14 +49,16 @@ class BackgroundTraffic:
         self.flows_generated = 0
         rate_per_s = poisson_rate_for_load(load, n_hosts, host_rate_bps,
                                            sizes.mean())
-        self._mean_gap_ns = SECOND / rate_per_s if rate_per_s > 0 else None
+        self._mean_gap_ns = max(1, round(SECOND / rate_per_s)) \
+            if rate_per_s > 0 else None
 
     def start(self) -> None:
         if self._mean_gap_ns is not None:
             self._schedule_next()
 
     def _schedule_next(self) -> None:
-        gap = self.rng.expovariate(1.0 / self._mean_gap_ns)
+        # Rate parameter in 1/ns; the drawn gap is rounded to int ns below.
+        gap = self.rng.expovariate(1.0 / self._mean_gap_ns)  # noqa: VR003
         when = self.engine.now + max(1, round(gap))
         if when <= self.until_ns:
             self.engine.schedule_at(when, self._launch_flow)

@@ -30,13 +30,12 @@ def qps_for_load(load: float, n_hosts: int, host_rate_bps: int,
     """Queries/s so the incast traffic offers ``load`` of host bandwidth."""
     if scale <= 0 or flow_bytes <= 0:
         raise ValueError("incast scale and flow size must be positive")
-    return load * n_hosts * host_rate_bps / (8.0 * scale * flow_bytes)
+    # The returned query *rate* (queries/s) is a float by nature.
+    return load * n_hosts * host_rate_bps / (8.0 * scale * flow_bytes)  # noqa: VR003
 
 
 class IncastApp:
     """Poisson incast query generator."""
-
-    _query_ids = itertools.count(1)
 
     def __init__(self, engine: Engine, open_flow: FlowOpener,
                  metrics: MetricsCollector, n_hosts: int, qps: float,
@@ -56,14 +55,18 @@ class IncastApp:
         self.until_ns = until_ns
         self.request_delay_ns = request_delay_ns
         self.queries_issued = 0
-        self._mean_gap_ns = SECOND / qps if qps > 0 else None
+        # Query ids are per-app (not process-global) so runs in the same
+        # process stay bit-identical for a given seed.
+        self._query_ids = itertools.count(1)
+        self._mean_gap_ns = max(1, round(SECOND / qps)) if qps > 0 else None
 
     def start(self) -> None:
         if self._mean_gap_ns is not None:
             self._schedule_next()
 
     def _schedule_next(self) -> None:
-        gap = self.rng.expovariate(1.0 / self._mean_gap_ns)
+        # Rate parameter in 1/ns; the drawn gap is rounded to int ns below.
+        gap = self.rng.expovariate(1.0 / self._mean_gap_ns)  # noqa: VR003
         when = self.engine.now + max(1, round(gap))
         if when <= self.until_ns:
             self.engine.schedule_at(when, self._issue_query)

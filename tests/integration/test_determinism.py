@@ -1,0 +1,68 @@
+"""End-to-end determinism: identical seeds produce byte-identical runs.
+
+The digest covers everything a figure could be built from — the summary
+row, per-flow and per-query records, drop reasons, and the number of
+events executed — serialized to canonical JSON and hashed.  The runs
+execute in the same process, so any state leaking across runs (module
+globals, shared counters, RNG reuse) breaks the test.
+"""
+
+import hashlib
+import json
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.sim.units import MILLISECOND
+
+
+def _config(seed: int, **overrides) -> ExperimentConfig:
+    config = ExperimentConfig.bench_profile(
+        system="vertigo", transport="dctcp", bg_load=0.2, incast_qps=60,
+        incast_scale=6, sim_time_ns=15 * MILLISECOND, seed=seed)
+    for key, value in overrides.items():
+        setattr(config, key, value)
+    return config
+
+
+def _digest(result) -> str:
+    """SHA-256 over a canonical JSON view of everything reportable."""
+    flows = [
+        (f.flow_id, f.src, f.dst, f.size, f.start_ns, f.end_ns,
+         f.bytes_delivered, f.is_incast, f.query_id, f.retransmissions)
+        for f in sorted(result.metrics.flows.values(),
+                        key=lambda f: f.flow_id)
+    ]
+    queries = [
+        (q.query_id, q.client, q.start_ns, q.n_flows, q.flows_done, q.end_ns)
+        for q in sorted(result.metrics.queries.values(),
+                        key=lambda q: q.query_id)
+    ]
+    view = {
+        "row": result.row(),
+        "drops": sorted(result.metrics.counters.drops.items()),
+        "events_executed": result.engine.events_executed,
+        "bg_flows": result.bg_flows_generated,
+        "queries_issued": result.queries_issued,
+        "flows": flows,
+        "queries": queries,
+    }
+    payload = json.dumps(view, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def test_same_seed_is_byte_identical():
+    first = _digest(run_experiment(_config(seed=7)))
+    second = _digest(run_experiment(_config(seed=7)))
+    assert first == second
+
+
+def test_different_seeds_differ():
+    base = _digest(run_experiment(_config(seed=7)))
+    other = _digest(run_experiment(_config(seed=8)))
+    assert base != other
+
+
+def test_sanitizer_does_not_perturb_results():
+    plain = _digest(run_experiment(_config(seed=7)))
+    checked = _digest(run_experiment(_config(seed=7, sanitize=True)))
+    assert plain == checked

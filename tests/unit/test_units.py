@@ -71,3 +71,57 @@ def test_fmt_time_units():
     assert fmt_time(2_500) == "2.500us"
     assert fmt_time(3_000_000) == "3.000ms"
     assert fmt_time(2 * SECOND).endswith("s")
+
+
+# -- rounding contract (see the module docstring) ------------------------------
+
+
+def test_round_half_to_even():
+    # Python's round() is banker's rounding: halves go to the even integer.
+    assert seconds(0.5e-9) == 0
+    assert seconds(1.5e-9) == 2
+    assert seconds(2.5e-9) == 2
+    assert usecs(0.0005) == 0
+    assert usecs(0.0015) == 2
+
+
+def test_sub_resolution_rounds_to_zero():
+    assert seconds(0.4e-9) == 0
+    assert usecs(0.0004) == 0
+    assert msecs(4e-7) == 0
+
+
+def test_one_nanosecond_is_representable():
+    assert seconds(1e-9) == 1
+    assert usecs(0.001) == 1
+    assert msecs(1e-6) == 1
+
+
+def test_nearest_not_truncation():
+    # 0.7 ns must round to 1, not truncate to 0.
+    assert seconds(0.7e-9) == 1
+    assert seconds(1.4e-9) == 1
+
+
+def test_large_values_within_float_precision_are_exact():
+    # Powers of two stay exact in binary floating point.
+    assert seconds(2.0 ** 20) == 2 ** 20 * SECOND
+    assert seconds(86_400.0) == 86_400 * SECOND  # one day
+
+
+def test_integer_arithmetic_avoids_float_precision_loss():
+    # Beyond 2**53 ns the float path is lossy; the documented remedy —
+    # integer arithmetic with the constants — is exact.
+    big_days = 200
+    exact = big_days * 86_400 * SECOND
+    assert exact > 2 ** 53
+    assert exact == big_days * 86_400 * SECOND  # no float involved
+
+
+def test_transmission_delay_never_underestimates():
+    # ceil(bits * 1e9 / rate) >= exact serialization time, for awkward
+    # rates that do not divide the bit count evenly.
+    for size, rate in [(1, 7), (1461, 999_999_999), (53, 3)]:
+        delay = transmission_delay_ns(size, rate)
+        assert delay * rate >= size * 8 * SECOND
+        assert (delay - 1) * rate < size * 8 * SECOND
