@@ -17,7 +17,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import RunResult, run_experiment
-from repro.experiments.sweeps import format_table
+from repro.experiments.sweeps import format_table, sweep
 from repro.sim.units import MILLISECOND
 
 #: Simulated time per run; long enough for several init-RTO recoveries.
@@ -43,6 +43,25 @@ def run_row(config: ExperimentConfig,
     if extra:
         row.update(extra)
     return row
+
+
+def sweep_rows(configs: Sequence[ExperimentConfig],
+               extras: Optional[Sequence[Dict[str, object]]] = None,
+               jobs: Optional[int] = None) -> List[Dict[str, object]]:
+    """Run a config list through the sweep executor; one row per config.
+
+    ``jobs`` defaults to the ``REPRO_JOBS`` environment variable (serial
+    when unset), so ``REPRO_JOBS=4 pytest benchmarks/...`` fans the
+    figure sweeps out to worker processes without touching the benches.
+    """
+    results = sweep(configs, jobs=jobs)
+    rows = []
+    for i, result in enumerate(results):
+        row = result.row()
+        if extras and extras[i]:
+            row.update(extras[i])
+        rows.append(row)
+    return rows
 
 
 def incast_loads_for_totals(bg_load: float,

@@ -8,7 +8,8 @@ grows; ECMP and DRILL suffer at the last hop regardless.
 
 import pytest
 
-from common import bench_config, emit, incast_loads_for_totals, once, run_row
+from common import (bench_config, emit, incast_loads_for_totals, once,
+                    sweep_rows)
 
 SYSTEMS = ["ecmp", "drill", "dibs", "vertigo"]
 SWEEP = {
@@ -24,15 +25,14 @@ COLUMNS = ["system", "bg_pct", "load_pct", "mean_fct_s", "p99_fct_s",
 @pytest.mark.parametrize("bg_load", sorted(SWEEP))
 def test_fig5_load_sweep(benchmark, bg_load):
     def sweep():
-        rows = []
+        configs, extras = [], []
         for system in SYSTEMS:
             for incast in incast_loads_for_totals(bg_load, SWEEP[bg_load]):
-                row = run_row(bench_config(system, "dctcp",
-                                           bg_load=bg_load,
-                                           incast_load=incast),
-                              extra={"bg_pct": round(100 * bg_load)})
-                rows.append(row)
-        return rows
+                configs.append(bench_config(system, "dctcp",
+                                            bg_load=bg_load,
+                                            incast_load=incast))
+                extras.append({"bg_pct": round(100 * bg_load)})
+        return sweep_rows(configs, extras)
 
     rows = once(benchmark, sweep)
     emit(f"fig5_bg{round(100 * bg_load)}",

@@ -8,7 +8,7 @@ up to an order of magnitude more than the alternatives; everyone's FCT
 climbs.
 """
 
-from common import BENCH_SIM_TIME_NS, bench_config, emit, once, run_row
+from common import BENCH_SIM_TIME_NS, bench_config, emit, once, sweep_rows
 
 SYSTEMS = ["ecmp", "drill", "dibs", "vertigo"]
 #: Fractions of the host pool queried, mirroring 50..450 of 320 hosts.
@@ -22,15 +22,15 @@ COLUMNS = ["system", "incast_scale", "query_completion_pct", "mean_qct_s",
 
 def test_fig8_incast_scale(benchmark):
     def sweep():
-        rows = []
+        configs, extras = [], []
         for system in SYSTEMS:
             for scale in SCALES:
-                config = bench_config(system, "dctcp", bg_load=0.50,
-                                      incast_qps=QPS, incast_scale=scale,
-                                      incast_flow_bytes=FLOW_BYTES)
-                row = run_row(config, extra={"incast_scale": scale})
-                rows.append(row)
-        return rows
+                configs.append(bench_config(system, "dctcp", bg_load=0.50,
+                                            incast_qps=QPS,
+                                            incast_scale=scale,
+                                            incast_flow_bytes=FLOW_BYTES))
+                extras.append({"incast_scale": scale})
+        return sweep_rows(configs, extras)
 
     rows = once(benchmark, sweep)
     emit("fig8", "incast scale sweep (50% bg, fixed QPS and flow size)",

@@ -17,7 +17,7 @@ from typing import List, Optional
 
 from repro.experiments.config import ALL_SYSTEMS, ExperimentConfig
 from repro.experiments.runner import run_experiment
-from repro.experiments.sweeps import format_table
+from repro.experiments.sweeps import format_table, sweep
 from repro.net.topology import FatTree
 from repro.sim.units import MILLISECOND
 
@@ -50,6 +50,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--sanitize", action="store_true",
                         help="run with the runtime invariant sanitizer "
                              "(repro.analysis.sanitize) enabled")
+    parser.add_argument("--seeds", type=int, default=1, metavar="N",
+                        help="run N seeds (seed..seed+N-1) and print one "
+                             "row per seed")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for multi-seed runs "
+                             "(default REPRO_JOBS, else serial; "
+                             "0 = all CPUs)")
     return parser
 
 
@@ -76,17 +83,33 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    config = config_from_args(args)
+    if args.seeds < 1:
+        print("--seeds must be >= 1", file=sys.stderr)
+        return 2
+    configs = []
+    for seed in range(args.seed, args.seed + args.seeds):
+        args.seed = seed
+        configs.append(config_from_args(args))
     print(f"running {args.system}+{args.transport} on "
-          f"{config.topology!r} for {config.sim_time_ns // MILLISECOND} ms "
-          f"simulated ...", file=sys.stderr)
-    result = run_experiment(config)
-    print(format_table([result.row()]))
-    drops = result.metrics.counters.drops
-    if drops:
-        print("\ndrops by reason: "
-              + ", ".join(f"{reason}={count}"
-                          for reason, count in sorted(drops.items())))
+          f"{configs[0].topology!r} for "
+          f"{configs[0].sim_time_ns // MILLISECOND} ms simulated "
+          f"({len(configs)} seed(s)) ...", file=sys.stderr)
+    if len(configs) == 1:
+        results = [run_experiment(configs[0])]
+    else:
+        results = sweep(configs, jobs=args.jobs)
+    rows = []
+    for config, result in zip(configs, results):
+        row = result.row()
+        row["seed"] = config.seed
+        rows.append(row)
+    print(format_table(rows))
+    if len(results) == 1:
+        drops = results[0].metrics.counters.drops
+        if drops:
+            print("\ndrops by reason: "
+                  + ", ".join(f"{reason}={count}"
+                              for reason, count in sorted(drops.items())))
     return 0
 
 

@@ -17,6 +17,8 @@ from repro.experiments.config import (
     SystemConfig,
     WorkloadConfig,
 )
+from repro.experiments.digest import run_digest
+from repro.experiments.parallel import resolve_jobs, run_many
 from repro.experiments.runner import RunResult, run_experiment
 from repro.experiments.sweeps import load_sweep, sweep
 
@@ -27,6 +29,9 @@ __all__ = [
     "BENCH_SYSTEMS",
     "RunResult",
     "run_experiment",
+    "run_digest",
+    "run_many",
+    "resolve_jobs",
     "sweep",
     "load_sweep",
 ]

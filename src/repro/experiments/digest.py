@@ -1,0 +1,41 @@
+"""Canonical determinism digest of a run (shared by tests and tooling).
+
+The digest covers everything a figure could be built from — the summary
+row, per-flow and per-query records, drop reasons, and the number of
+events executed — serialized to canonical JSON and hashed.  Two runs
+with the same config and seed must produce the same digest whether they
+executed in this process or in a sweep worker
+(:mod:`repro.experiments.parallel`), under the sanitizer or not.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.experiments.runner import RunResult
+
+
+def run_digest(result: RunResult) -> str:
+    """SHA-256 over a canonical JSON view of everything reportable."""
+    metrics = result.metrics
+    flows = [
+        (f.flow_id, f.src, f.dst, f.size, f.start_ns, f.end_ns,
+         f.bytes_delivered, f.is_incast, f.query_id, f.retransmissions)
+        for f in sorted(metrics.flows.values(), key=lambda f: f.flow_id)
+    ]
+    queries = [
+        (q.query_id, q.client, q.start_ns, q.n_flows, q.flows_done, q.end_ns)
+        for q in sorted(metrics.queries.values(), key=lambda q: q.query_id)
+    ]
+    view = {
+        "row": result.row(),
+        "drops": sorted(metrics.counters.drops.items()),
+        "events_executed": result.engine.events_executed,
+        "bg_flows": result.bg_flows_generated,
+        "queries_issued": result.queries_issued,
+        "flows": flows,
+        "queries": queries,
+    }
+    payload = json.dumps(view, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()

@@ -118,12 +118,28 @@ def resolve_transport_config(config: ExperimentConfig) -> TransportConfig:
 
 
 @dataclass
+class EngineStats:
+    """Picklable stand-in for a drained :class:`Engine` in results that
+    cross process boundaries (the live engine's calendar holds closures)."""
+
+    now: int = 0
+    events_executed: int = 0
+
+
+@dataclass
 class RunResult:
-    """Outcome of one simulation run."""
+    """Outcome of one simulation run.
+
+    ``network`` and ``engine`` reference the live simulation objects when
+    the run happened in this process; results transferred from a worker
+    process (:mod:`repro.experiments.parallel`) carry ``network=None``
+    and an :class:`EngineStats` snapshot instead — everything a figure,
+    summary row, or determinism digest consumes survives the transfer.
+    """
 
     config: ExperimentConfig
     metrics: MetricsCollector
-    network: Network
+    network: Optional[Network]
     engine: Engine
     bg_flows_generated: int
     queries_issued: int
@@ -132,6 +148,24 @@ class RunResult:
     @property
     def duration_ns(self) -> int:
         return self.config.sim_time_ns
+
+    def portable(self) -> "RunResult":
+        """A picklable copy safe to ship between processes.
+
+        Drops the live network (hosts and switches hold closures), keeps
+        the full metrics, and snapshots the engine counters; an attached
+        telemetry monitor is reduced to its
+        :class:`~repro.telemetry.monitor.TelemetrySummary`.
+        """
+        telemetry = self.telemetry
+        if telemetry is not None and hasattr(telemetry, "summary"):
+            telemetry = telemetry.summary()
+        return RunResult(
+            config=self.config, metrics=self.metrics, network=None,
+            engine=EngineStats(now=self.engine.now,
+                               events_executed=self.engine.events_executed),
+            bg_flows_generated=self.bg_flows_generated,
+            queries_issued=self.queries_issued, telemetry=telemetry)
 
     def row(self) -> Dict[str, float]:
         """One summary row — the quantities the paper's figures report."""

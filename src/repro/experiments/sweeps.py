@@ -1,24 +1,34 @@
-"""Parameter sweep helpers used by the benchmark harness."""
+"""Parameter sweep helpers used by the benchmark harness.
+
+Sweeps run through the (optionally process-parallel) executor in
+:mod:`repro.experiments.parallel`: pass ``jobs=N``, or set the
+``REPRO_JOBS`` environment variable, to fan the points out to worker
+processes.  Results always come back in sweep order and are
+digest-identical to a serial run.
+"""
 
 from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import RunResult, run_experiment
+from repro.experiments.parallel import run_many
+from repro.experiments.runner import RunResult
 
 ConfigFactory = Callable[..., ExperimentConfig]
 
 
-def sweep(configs: Iterable[ExperimentConfig]) -> List[RunResult]:
+def sweep(configs: Iterable[ExperimentConfig], *,
+          jobs: Optional[int] = None) -> List[RunResult]:
     """Run a sequence of configurations, in order."""
-    return [run_experiment(config) for config in configs]
+    return run_many(configs, jobs=jobs)
 
 
 def load_sweep(make_config: Callable[[float], ExperimentConfig],
-               loads: Sequence[float]) -> List[RunResult]:
+               loads: Sequence[float], *,
+               jobs: Optional[int] = None) -> List[RunResult]:
     """Run ``make_config(load)`` for each offered load fraction."""
-    return [run_experiment(make_config(load)) for load in loads]
+    return run_many([make_config(load) for load in loads], jobs=jobs)
 
 
 def format_table(rows: List[Dict[str, object]],

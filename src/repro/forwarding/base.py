@@ -1,10 +1,29 @@
-"""Forwarding policy interface and shared selection helpers."""
+"""Forwarding policy interface and shared selection helpers.
+
+Per-packet routing is the simulator's hottest path after the event
+kernel, so the base class carries two memoization layers shared by the
+concrete policies:
+
+- a per-(flow, src, dst) cache of *static* hash-based port choices
+  (:meth:`flow_hash_port`) — the hash is a pure function of the flow key
+  and the per-switch salt, so the cached decision is byte-identical to
+  recomputing it on every packet;
+- a per-excluded-port cache of deflection target tuples
+  (:meth:`deflection_targets`) — the switch-facing port set only changes
+  when the topology does.
+
+Both caches are dropped by :meth:`invalidate_cache`, which
+:meth:`repro.net.switch.Switch.topology_changed` invokes on any runtime
+FIB/port/link change.  Load-*dependent* decisions (DRILL sampling,
+power-of-two choices) are never cached.
+"""
 
 from __future__ import annotations
 
 import abc
 import random
-from typing import List, Sequence
+import zlib
+from typing import Dict, List, Sequence, Tuple
 
 from repro.net.packet import Packet
 from repro.net.switch import Switch
@@ -22,18 +41,51 @@ class ForwardingPolicy(abc.ABC):
     def __init__(self, switch: Switch, rng: random.Random) -> None:
         self.switch = switch
         self.rng = rng
+        self._flow_port_cache: Dict[Tuple[int, int, int], int] = {}
+        self._deflection_cache: Dict[int, Tuple[int, ...]] = {}
 
     @abc.abstractmethod
     def route(self, packet: Packet, in_port: int) -> None:
         """Decide the fate of ``packet`` arriving on ``in_port``."""
 
+    def invalidate_cache(self) -> None:
+        """Drop memoized routing state after a topology/link change."""
+        self._flow_port_cache.clear()
+        self._deflection_cache.clear()
+
     # -- shared helpers --------------------------------------------------------
+
+    def flow_hash_port(self, packet: Packet, salt: int) -> int:
+        """ECMP-style static per-flow hash over the FIB candidates.
+
+        The choice depends only on (flow id, src, dst, salt) and the FIB
+        entry, so it is memoized per flow key; the cache is invalidated by
+        :meth:`invalidate_cache` when the topology changes.
+        """
+        key = (packet.flow_id, packet.src, packet.dst)
+        port = self._flow_port_cache.get(key)
+        if port is None:
+            candidates = self.switch.candidates(packet.dst)
+            digest = zlib.crc32(
+                f"{key[0]}:{key[1]}:{key[2]}:{salt}".encode())
+            port = candidates[digest % len(candidates)]
+            self._flow_port_cache[key] = port
+        return port
+
+    def deflection_targets(self, exclude: int) -> Tuple[int, ...]:
+        """Switch-facing ports other than ``exclude``, memoized."""
+        targets = self._deflection_cache.get(exclude)
+        if targets is None:
+            targets = tuple(port for port in self.switch.switch_ports
+                            if port != exclude)
+            self._deflection_cache[exclude] = targets
+        return targets
 
     def least_loaded(self, candidates: Sequence[int]) -> int:
         """Port with the lowest queue occupancy; ties by port order."""
-        switch = self.switch
-        return min(candidates, key=lambda port: (switch.queue_bytes(port),
-                                                 port))
+        ports = self.switch.ports
+        return min((ports[port].queue.bytes, port)
+                   for port in candidates)[1]
 
     def sample_two(self, candidates: Sequence[int]) -> List[int]:
         """Sample up to two distinct candidates uniformly at random."""

@@ -12,8 +12,7 @@ deflection targets.
 from __future__ import annotations
 
 import random
-import zlib
-from typing import List
+from typing import Tuple
 
 from repro.forwarding.base import ForwardingPolicy
 from repro.net.packet import Packet
@@ -34,12 +33,10 @@ class DibsPolicy(ForwardingPolicy):
         self._salt = rng.getrandbits(32)
 
     def _ecmp_port(self, packet: Packet) -> int:
-        candidates = self.switch.candidates(packet.dst)
-        key = f"{packet.flow_id}:{packet.src}:{packet.dst}:{self._salt}"
-        return candidates[zlib.crc32(key.encode()) % len(candidates)]
+        return self.flow_hash_port(packet, self._salt)
 
-    def _deflection_targets(self, exclude: int) -> List[int]:
-        return [port for port in self.switch.switch_ports if port != exclude]
+    def _deflection_targets(self, exclude: int) -> Tuple[int, ...]:
+        return self.deflection_targets(exclude)
 
     def route(self, packet: Packet, in_port: int) -> None:
         port = self._ecmp_port(packet)

@@ -33,21 +33,23 @@ class DrillPolicy(ForwardingPolicy):
         self._memory: Dict[Tuple[int, ...], Tuple[int, ...]] = {}
 
     def route(self, packet: Packet, in_port: int) -> None:
-        candidates = self.switch.candidates(packet.dst)
+        switch = self.switch
+        candidates = switch.candidates(packet.dst)
         if len(candidates) == 1:
             port = candidates[0]
         else:
             sampled = set(self._memory.get(candidates, ()))
-            pool = list(candidates)
-            picks = min(self.d, len(pool))
-            sampled.update(self.rng.sample(pool, picks))
-            port = self.least_loaded(sorted(sampled))
+            picks = min(self.d, len(candidates))
+            sampled.update(self.rng.sample(list(candidates), picks))
+            # One (occupancy, port) sort yields both the forwarding choice
+            # (least loaded, ties by port order) and the m-port memory.
+            ports = switch.ports
+            scored = sorted((ports[p].queue.bytes, p) for p in sampled)
+            port = scored[0][1]
             if self.m:
-                ordered = sorted(
-                    sampled,
-                    key=lambda p: (self.switch.queue_bytes(p), p))
-                self._memory[candidates] = tuple(ordered[:self.m])
-        if self.switch.ports[port].fits(packet):
-            self.switch.enqueue(port, packet)
+                self._memory[candidates] = tuple(
+                    p for _, p in scored[:self.m])
+        if switch.ports[port].fits(packet):
+            switch.enqueue(port, packet)
         else:
-            self.switch.drop(packet, "overflow")
+            switch.drop(packet, "overflow")

@@ -9,7 +9,6 @@ arriving packet.
 from __future__ import annotations
 
 import random
-import zlib
 
 from repro.forwarding.base import ForwardingPolicy
 from repro.net.packet import Packet
@@ -17,7 +16,13 @@ from repro.net.switch import Switch
 
 
 class EcmpPolicy(ForwardingPolicy):
-    """Per-flow static hashing over equal-cost next hops."""
+    """Per-flow static hashing over equal-cost next hops.
+
+    The hash decision is a pure function of the flow key and this
+    switch's salt, so it is memoized per flow (``flow_hash_port``);
+    :meth:`~repro.forwarding.base.ForwardingPolicy.invalidate_cache`
+    drops the memo on topology changes.
+    """
 
     def __init__(self, switch: Switch, rng: random.Random) -> None:
         super().__init__(switch, rng)
@@ -25,13 +30,8 @@ class EcmpPolicy(ForwardingPolicy):
         # avoids ECMP polarization, as deployed switches do.
         self._salt = rng.getrandbits(32)
 
-    def _hash_choice(self, packet: Packet, n: int) -> int:
-        key = f"{packet.flow_id}:{packet.src}:{packet.dst}:{self._salt}"
-        return zlib.crc32(key.encode()) % n
-
     def route(self, packet: Packet, in_port: int) -> None:
-        candidates = self.switch.candidates(packet.dst)
-        port = candidates[self._hash_choice(packet, len(candidates))]
+        port = self.flow_hash_port(packet, self._salt)
         if self.switch.ports[port].fits(packet):
             self.switch.enqueue(port, packet)
         else:

@@ -15,7 +15,6 @@ spreading (Vertigo).
 from __future__ import annotations
 
 import random
-import zlib
 
 from repro.forwarding.base import ForwardingPolicy
 from repro.net.packet import Packet
@@ -34,9 +33,7 @@ class PaboPolicy(ForwardingPolicy):
         self._salt = rng.getrandbits(32)
 
     def _ecmp_port(self, packet: Packet) -> int:
-        candidates = self.switch.candidates(packet.dst)
-        key = f"{packet.flow_id}:{packet.src}:{packet.dst}:{self._salt}"
-        return candidates[zlib.crc32(key.encode()) % len(candidates)]
+        return self.flow_hash_port(packet, self._salt)
 
     def route(self, packet: Packet, in_port: int) -> None:
         switch = self.switch

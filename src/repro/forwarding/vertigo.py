@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.forwarding.base import ForwardingPolicy
 from repro.net.packet import Packet
@@ -106,8 +106,8 @@ class VertigoPolicy(ForwardingPolicy):
 
     # -- deflection -------------------------------------------------------------
 
-    def _deflection_targets(self, exclude: int) -> List[int]:
-        return [port for port in self.switch.switch_ports if port != exclude]
+    def _deflection_targets(self, exclude: int) -> Sequence[int]:
+        return self.deflection_targets(exclude)
 
     def _deflect(self, packet: Packet, exclude: int) -> None:
         switch = self.switch

@@ -69,8 +69,8 @@ class Link:
             if self.on_loss is not None:
                 self.on_loss(packet)
             return
-        self.engine.schedule(self.delay_ns, self.dst.receive, packet,
-                             self.dst_port)
+        self.engine.schedule_fast(self.delay_ns, self.dst.receive, packet,
+                                  self.dst_port)
 
 
 class Port:
@@ -115,7 +115,7 @@ class Port:
         self.busy = True
         tx_delay = transmission_delay_ns(packet.wire_bytes,
                                          self.link.rate_bps)
-        self.engine.schedule(tx_delay, self._tx_done, packet)
+        self.engine.schedule_fast(tx_delay, self._tx_done, packet)
 
     def _tx_done(self, packet) -> None:
         self.busy = False

@@ -43,6 +43,7 @@ class Switch:
         #: dst host id -> tuple of candidate (shortest-path) egress ports.
         self.fib: Dict[int, Tuple[int, ...]] = {}
         self.policy = None  # set by the network builder
+        self._switch_ports: Optional[Tuple[int, ...]] = None
 
     # -- construction --------------------------------------------------------
 
@@ -50,12 +51,29 @@ class Switch:
         index = len(self.ports)
         self.ports.append(Port(self.engine, self, index, queue))
         self.port_faces_switch.append(faces_switch)
+        self._switch_ports = None
         return index
 
     @property
-    def switch_ports(self) -> List[int]:
-        return [index for index, faces in enumerate(self.port_faces_switch)
-                if faces]
+    def switch_ports(self) -> Tuple[int, ...]:
+        ports = self._switch_ports
+        if ports is None:
+            ports = self._switch_ports = tuple(
+                index for index, faces in enumerate(self.port_faces_switch)
+                if faces)
+        return ports
+
+    def topology_changed(self) -> None:
+        """Invalidate routing caches after a FIB, port, or link change.
+
+        Anything that rewires the switch at runtime (failure injection,
+        route updates) must call this so the per-flow port caches kept by
+        forwarding policies — and the cached switch-facing port set — are
+        recomputed against the new state.
+        """
+        self._switch_ports = None
+        if self.policy is not None:
+            self.policy.invalidate_cache()
 
     # -- dataplane ------------------------------------------------------------
 
@@ -113,7 +131,7 @@ class Switch:
         self.counters.drops[reason] += 1
 
     def queue_bytes(self, port_index: int) -> int:
-        return self.ports[port_index].occupancy_bytes()
+        return self.ports[port_index].queue.bytes
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Switch {self.name} ports={len(self.ports)}>"

@@ -1,0 +1,232 @@
+"""Performance harness (``python -m repro.perf``).
+
+Measures the three throughput numbers the ROADMAP's "fast as the
+hardware allows" goal is tracked by, and writes them to
+``BENCH_perf.json`` at the repository root so successive PRs accumulate
+a regression trajectory:
+
+1. **Kernel events/sec** — a self-rescheduling empty callback, timed on
+   both scheduling paths: the cancellable :class:`~repro.sim.engine.Event`
+   path and the allocation-free tuple fast path
+   (:meth:`~repro.sim.engine.Engine.schedule_fast`).
+2. **End-to-end packets/sec** — one bench-profile experiment
+   (vertigo + dctcp at 75% load, the heaviest common figure point);
+   also reports events/sec with the full simulation workload attached.
+3. **Reference sweep wall time** — a Figure-5-style multi-point sweep,
+   serial vs parallel (``--jobs`` / ``REPRO_JOBS``), with the measured
+   speedup.  Wall-clock speedup requires physical CPUs: the recorded
+   ``cpus`` field qualifies the number (a 1-CPU container measures ≈1×
+   however many workers are used — use the digest-equality tests, not
+   this number, to validate the parallel path there).
+
+``--quick`` shrinks every measurement for CI smoke use; ``--profile``
+prints the top of a cProfile run over the experiment for hot-path work.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.parallel import resolve_jobs, run_many
+from repro.experiments.runner import RunResult, run_experiment
+from repro.sim.engine import Engine
+from repro.sim.units import MILLISECOND
+
+DEFAULT_OUT = "BENCH_perf.json"
+
+#: Reference sweep: one Figure-5 column (50% background, DCTCP) across
+#: the four compared systems plus two extra vertigo loads — six
+#: independent points, enough for process-level parallelism to bite.
+SWEEP_POINTS = (
+    ("ecmp", 0.25), ("drill", 0.25), ("dibs", 0.25), ("vertigo", 0.25),
+    ("vertigo", 0.10), ("vertigo", 0.40),
+)
+
+
+def _best_of(fn: Callable[[], float], repeats: int) -> float:
+    """Minimum of ``repeats`` timed runs, after one untimed warmup."""
+    fn()
+    return min(fn() for _ in range(repeats))
+
+
+def time_kernel(n_events: int, fast: bool) -> float:
+    """Wall seconds to execute ``n_events`` self-rescheduling callbacks."""
+    engine = Engine()
+    executed = [0]
+    sched = engine.schedule_fast if fast else engine.schedule
+
+    def tick() -> None:
+        if executed[0] < n_events:
+            executed[0] += 1
+            sched(1, tick)
+
+    sched(1, tick)
+    start = time.perf_counter()
+    engine.run(max_events=n_events)
+    return time.perf_counter() - start
+
+
+def reference_config(system: str = "vertigo", incast_load: float = 0.25,
+                     sim_time_ns: int = 40 * MILLISECOND,
+                     seed: int = 1) -> ExperimentConfig:
+    """The harness's standard experiment: 50% bg + incast on 32 hosts."""
+    return ExperimentConfig.bench_profile(
+        system=system, transport="dctcp", bg_load=0.5,
+        incast_load=incast_load, incast_scale=12,
+        sim_time_ns=sim_time_ns, seed=seed)
+
+
+def measure_experiment(sim_time_ns: int) -> Dict[str, object]:
+    """Run the reference experiment once; report packet/event throughput."""
+    config = reference_config(sim_time_ns=sim_time_ns)
+    start = time.perf_counter()
+    result = run_experiment(config)
+    wall = time.perf_counter() - start
+    counters = result.metrics.counters
+    packets = counters.forwarded + counters.delivered
+    events = result.engine.events_executed
+    return {
+        "system": config.system.name,
+        "transport": config.transport_name,
+        "sim_ms": sim_time_ns // MILLISECOND,
+        "wall_s": round(wall, 4),
+        "events_executed": events,
+        "events_per_sec": round(events / wall) if wall else None,
+        "packets_forwarded": packets,
+        "packets_per_sec": round(packets / wall) if wall else None,
+    }
+
+
+def measure_sweep(jobs: int, sim_time_ns: int,
+                  points: Sequence = SWEEP_POINTS) -> Dict[str, object]:
+    """Reference sweep wall time, serial then with ``jobs`` workers."""
+    def configs() -> List[ExperimentConfig]:
+        return [reference_config(system=system, incast_load=incast,
+                                 sim_time_ns=sim_time_ns)
+                for system, incast in points]
+
+    start = time.perf_counter()
+    run_many(configs(), jobs=1)
+    serial = time.perf_counter() - start
+
+    start = time.perf_counter()
+    run_many(configs(), jobs=jobs)
+    parallel = time.perf_counter() - start
+
+    return {
+        "points": len(points),
+        "sim_ms": sim_time_ns // MILLISECOND,
+        "serial_wall_s": round(serial, 3),
+        "parallel_wall_s": round(parallel, 3),
+        "jobs": jobs,
+        "speedup": round(serial / parallel, 3) if parallel else None,
+    }
+
+
+def profile_experiment(sim_time_ns: int, top: int = 20) -> str:
+    """cProfile the reference experiment; return the formatted hot list."""
+    import cProfile
+    import io
+    import pstats
+
+    config = reference_config(sim_time_ns=sim_time_ns)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run_experiment(config)
+    profiler.disable()
+    stream = io.StringIO()
+    pstats.Stats(profiler, stream=stream) \
+        .sort_stats("cumulative").print_stats(top)
+    return stream.getvalue()
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf",
+        description="Measure kernel/experiment/sweep throughput and track "
+                    "it in BENCH_perf.json.")
+    parser.add_argument("--quick", action="store_true",
+                        help="small CI-smoke sizes (fewer events, shorter "
+                             "sims, fewer repeats)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="sweep worker processes (default REPRO_JOBS, "
+                             "else all CPUs; 1 = serial only)")
+    parser.add_argument("--events", type=int, default=None,
+                        help="kernel events per measurement "
+                             "(default 200000, quick 50000)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="kernel timing repetitions; min is kept")
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help=f"output JSON path (default {DEFAULT_OUT})")
+    parser.add_argument("--profile", action="store_true",
+                        help="print a cProfile hot-function list for the "
+                             "reference experiment")
+    parser.add_argument("--skip-sweep", action="store_true",
+                        help="skip the serial-vs-parallel sweep comparison")
+    args = parser.parse_args(argv)
+
+    quick = args.quick
+    n_events = args.events or (50_000 if quick else 200_000)
+    exp_sim_ns = (10 if quick else 40) * MILLISECOND
+    sweep_sim_ns = (10 if quick else 120) * MILLISECOND
+    jobs = args.jobs if args.jobs is not None else resolve_jobs(0)
+
+    report: Dict[str, object] = {
+        "schema": 1,
+        "mode": "quick" if quick else "full",
+        "cpus": os.cpu_count(),
+    }
+
+    print(f"[1/3] kernel: {n_events} events x {args.repeats} repeats ...",
+          file=sys.stderr)
+    event_path = _best_of(lambda: time_kernel(n_events, fast=False),
+                          args.repeats)
+    fast_path = _best_of(lambda: time_kernel(n_events, fast=True),
+                         args.repeats)
+    report["kernel"] = {
+        "events": n_events,
+        "event_path_events_per_sec": round(n_events / event_path),
+        "fast_path_events_per_sec": round(n_events / fast_path),
+    }
+
+    print("[2/3] reference experiment ...", file=sys.stderr)
+    report["experiment"] = measure_experiment(exp_sim_ns)
+
+    if args.skip_sweep:
+        report["sweep"] = None
+    else:
+        print(f"[3/3] reference sweep, serial vs --jobs {jobs} ...",
+              file=sys.stderr)
+        points = SWEEP_POINTS[:4] if quick else SWEEP_POINTS
+        report["sweep"] = measure_sweep(jobs, sweep_sim_ns, points)
+
+    if args.profile:
+        print(profile_experiment(exp_sim_ns))
+
+    kernel = report["kernel"]
+    experiment = report["experiment"]
+    print(f"kernel: {kernel['event_path_events_per_sec']:,} ev/s "
+          f"(Event path), {kernel['fast_path_events_per_sec']:,} ev/s "
+          f"(fast path)")
+    print(f"experiment: {experiment['packets_per_sec']:,} pkt/s, "
+          f"{experiment['events_per_sec']:,} ev/s "
+          f"({experiment['wall_s']}s wall)")
+    sweep_report = report["sweep"]
+    if sweep_report:
+        print(f"sweep: {sweep_report['points']} points, serial "
+              f"{sweep_report['serial_wall_s']}s, --jobs "
+              f"{sweep_report['jobs']} {sweep_report['parallel_wall_s']}s "
+              f"-> {sweep_report['speedup']}x "
+              f"({report['cpus']} CPU(s) visible)")
+
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.out}", file=sys.stderr)
+    return 0

@@ -1,0 +1,6 @@
+"""Entry point: ``python -m repro.perf``."""
+
+from repro.perf import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

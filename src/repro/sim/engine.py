@@ -1,9 +1,27 @@
 """Event calendar and simulation loop.
 
-The engine stores events in a binary heap keyed by
+The engine stores events in a binary heap of plain tuples keyed by
 ``(time, priority, sequence)``.  The sequence number makes ordering of
 same-time, same-priority events FIFO and fully deterministic, which is
-essential for reproducible experiments.
+essential for reproducible experiments — and, being unique, it also
+guarantees heap comparisons never fall through to the trailing payload
+fields, so entries compare as native tuples entirely in C.
+
+Two scheduling paths share the calendar:
+
+- :meth:`Engine.schedule` returns a cancellable :class:`Event` handle
+  (timers, anything that may be re-armed).  Cancellation is lazy: the
+  heap entry stays in place as a tombstone and is skipped when popped.
+- :meth:`Engine.schedule_fast` is the allocation-free fast path for the
+  dominant case — callbacks that are never cancelled (packet arrivals,
+  transmit completions).  No handle object is created; the tuple goes
+  straight into the heap.
+
+Lazy cancellation alone would let tombstones accumulate (a transport
+resetting its retransmission timer on every ACK cancels an entry each
+time).  The calendar therefore compacts itself whenever more than half
+of a non-trivial heap is cancelled, keeping memory and heap-sift costs
+proportional to the *live* event count.
 """
 
 from __future__ import annotations
@@ -15,19 +33,30 @@ from repro.analysis import sanitize as _sanitize
 
 _SANITIZE = _sanitize.register(__name__)
 
+#: Compaction triggers only above this heap size, so tiny calendars never
+#: churn; above it, compaction runs when >50% of entries are cancelled.
+COMPACTION_MIN_ENTRIES = 64
+
+#: Sentinels letting the run loop test its bounds with single int
+#: comparisons instead of ``is not None`` checks per event.
+_NO_HORIZON = 1 << 62
+_NO_LIMIT = 1 << 62
+
 
 class Event:
-    """A scheduled callback.
+    """A cancellable scheduled callback.
 
     Events are returned by :meth:`Engine.schedule` and may be cancelled.
     Cancellation is lazy: the heap entry stays in place and is skipped
-    when popped.
+    when popped (the calendar compacts itself when tombstones dominate).
     """
 
-    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled")
+    __slots__ = ("engine", "time", "priority", "seq", "fn", "args",
+                 "cancelled")
 
-    def __init__(self, time: int, priority: int, seq: int,
+    def __init__(self, engine: "Engine", time: int, priority: int, seq: int,
                  fn: Callable[..., Any], args: tuple):
+        self.engine = engine
         self.time = time
         self.priority = priority
         self.seq = seq
@@ -36,7 +65,15 @@ class Event:
         self.cancelled = False
 
     def cancel(self) -> None:
+        if self.cancelled:
+            return
         self.cancelled = True
+        engine = self.engine
+        engine._cancelled += 1
+        heap = engine._heap
+        if len(heap) >= COMPACTION_MIN_ENTRIES \
+                and engine._cancelled * 2 > len(heap):
+            engine._compact()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.priority, self.seq) < (
@@ -51,8 +88,12 @@ class Engine:
     """Discrete-event simulation engine with an integer nanosecond clock."""
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        #: Heap entries are ``(time, priority, seq, fn, args, event)``
+        #: where ``event`` is None for the fast path.  ``seq`` is unique,
+        #: so comparisons never reach ``fn``.
+        self._heap: list = []
         self._seq = 0
+        self._cancelled = 0
         self.now: int = 0
         self._running = False
         self.events_executed = 0
@@ -62,7 +103,9 @@ class Engine:
         """Schedule ``fn(*args)`` to run ``delay`` ns from now.
 
         ``priority`` breaks ties among same-time events (lower runs first);
-        the default of 0 is fine for nearly all uses.
+        the default of 0 is fine for nearly all uses.  The returned
+        :class:`Event` may be cancelled; callers that never cancel should
+        prefer :meth:`schedule_fast`.
         """
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
@@ -72,21 +115,61 @@ class Engine:
                             "count, got %r (%s)", delay, type(delay).__name__)
             _sanitize.check(callable(fn),
                             "schedule() callback %r is not callable", fn)
-        event = Event(self.now + delay, priority, self._seq, fn, args)
-        self._seq += 1
-        heapq.heappush(self._heap, event)
+        time = self.now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(self, time, priority, seq, fn, args)
+        heapq.heappush(self._heap, (time, priority, seq, fn, args, event))
         return event
+
+    def schedule_fast(self, delay: int, fn: Callable[..., Any],
+                      *args: Any) -> None:
+        """Schedule a callback that will never be cancelled (priority 0).
+
+        Identical ``(time, priority, seq)`` FIFO semantics to
+        :meth:`schedule`, but no :class:`Event` handle is allocated —
+        this is the per-packet hot path (link deliveries, transmit
+        completions account for the overwhelming majority of events).
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        if _SANITIZE:
+            _sanitize.check(type(delay) is int,
+                            "schedule_fast() delay must be an integer "
+                            "nanosecond count, got %r (%s)", delay,
+                            type(delay).__name__)
+            _sanitize.check(callable(fn),
+                            "schedule_fast() callback %r is not callable", fn)
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (self.now + delay, 0, seq, fn, args, None))
 
     def schedule_at(self, time: int, fn: Callable[..., Any], *args: Any,
                     priority: int = 0) -> Event:
         """Schedule ``fn(*args)`` at an absolute simulation time."""
         return self.schedule(time - self.now, fn, *args, priority=priority)
 
+    def _compact(self) -> None:
+        """Drop cancelled tombstones and re-heapify.
+
+        In place (slice assignment) so that a :meth:`run` loop holding a
+        reference to the heap list keeps seeing the compacted calendar.
+        """
+        self._heap[:] = [entry for entry in self._heap
+                         if entry[5] is None or not entry[5].cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
+
     def peek_time(self) -> Optional[int]:
         """Timestamp of the next pending (non-cancelled) event, or None."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap:
+            event = heap[0][5]
+            if event is None or not event.cancelled:
+                return heap[0][0]
+            heapq.heappop(heap)
+            self._cancelled -= 1
+        return None
 
     def run(self, until: Optional[int] = None,
             max_events: Optional[int] = None) -> int:
@@ -99,28 +182,34 @@ class Engine:
         executed = 0
         self._running = True
         heap = self._heap
+        pop = heapq.heappop
+        horizon = _NO_HORIZON if until is None else until
+        limit = _NO_LIMIT if max_events is None else max_events
         try:
             while heap:
-                event = heap[0]
-                if event.cancelled:
-                    heapq.heappop(heap)
+                entry = heap[0]
+                event = entry[5]
+                if event is not None and event.cancelled:
+                    pop(heap)
+                    self._cancelled -= 1
                     continue
-                if until is not None and event.time > until:
+                time = entry[0]
+                if time > horizon:
                     break
-                heapq.heappop(heap)
+                pop(heap)
                 if _SANITIZE:
-                    _sanitize.check(type(event.time) is int,
+                    _sanitize.check(type(time) is int,
                                     "event time must be an integer "
-                                    "nanosecond count, got %r", event.time)
-                    _sanitize.check(event.time >= self.now,
+                                    "nanosecond count, got %r", time)
+                    _sanitize.check(time >= self.now,
                                     "event calendar ran backwards: "
-                                    "%r < now=%d", event.time, self.now)
-                if event.time < self.now:  # pragma: no cover - invariant
+                                    "%r < now=%d", time, self.now)
+                if time < self.now:  # pragma: no cover - invariant
                     raise RuntimeError("event scheduled in the past")
-                self.now = event.time
-                event.fn(*event.args)
+                self.now = time
+                entry[3](*entry[4])
                 executed += 1
-                if max_events is not None and executed >= max_events:
+                if executed >= limit:
                     break
         finally:
             self._running = False
@@ -131,4 +220,5 @@ class Engine:
 
     def pending(self) -> int:
         """Number of live (non-cancelled) events still in the calendar."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        return sum(1 for entry in self._heap
+                   if entry[5] is None or not entry[5].cancelled)

@@ -14,6 +14,8 @@ from repro.telemetry.monitor import (
     CongestionEvent,
     PortSample,
     TelemetryMonitor,
+    TelemetrySummary,
 )
 
-__all__ = ["TelemetryMonitor", "PortSample", "CongestionEvent"]
+__all__ = ["TelemetryMonitor", "TelemetrySummary", "PortSample",
+           "CongestionEvent"]

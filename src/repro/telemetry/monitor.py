@@ -46,6 +46,30 @@ class CongestionEvent:
     hottest_utilization: float
 
 
+@dataclass
+class TelemetrySummary:
+    """Picklable snapshot of a monitor's observations.
+
+    Carries the recorded samples/events and the same reporting surface as
+    :class:`TelemetryMonitor`, without the live engine/network references,
+    so telemetry survives transfer from sweep worker processes.
+    """
+
+    samples: List[PortSample] = field(default_factory=list)
+    events: List[CongestionEvent] = field(default_factory=list)
+
+    def mean_utilization(self, switch: Optional[str] = None) -> float:
+        pool = [s.utilization for s in self.samples
+                if switch is None or s.switch == switch]
+        return sum(pool) / len(pool) if pool else 0.0
+
+    def microburst_count(self) -> int:
+        return sum(1 for e in self.events if e.kind == "microburst")
+
+    def persistent_count(self) -> int:
+        return sum(1 for e in self.events if e.kind == "persistent")
+
+
 class TelemetryMonitor:
     """Samples a running :class:`~repro.net.builder.Network`."""
 
@@ -81,7 +105,7 @@ class TelemetryMonitor:
                     port.bytes_sent
         self._last_deflections = self.counters.deflections
         self._last_drops = self.counters.total_drops
-        self.engine.schedule(self.interval_ns, self._tick)
+        self.engine.schedule_fast(self.interval_ns, self._tick)
 
     def _tick(self) -> None:
         now = self.engine.now
@@ -106,7 +130,7 @@ class TelemetryMonitor:
                         or sample.utilization > hottest.utilization:
                     hottest = sample
         self._classify(now, hottest)
-        self.engine.schedule(self.interval_ns, self._tick)
+        self.engine.schedule_fast(self.interval_ns, self._tick)
 
     def _classify(self, now: int, hottest: Optional[PortSample]) -> None:
         deflections = self.counters.deflections
@@ -128,6 +152,10 @@ class TelemetryMonitor:
                 hottest_utilization=hottest.utilization))
 
     # -- reporting ---------------------------------------------------------------
+
+    def summary(self) -> TelemetrySummary:
+        """Detach the observations from the live engine/network."""
+        return TelemetrySummary(samples=self.samples, events=self.events)
 
     def mean_utilization(self, switch: Optional[str] = None) -> float:
         """Average sampled utilization, optionally for one switch."""

@@ -82,8 +82,8 @@ class IncastApp:
             # Responses start after the one-way request latency, with a
             # small per-server jitter from OS scheduling.
             delay = self.request_delay_ns + self.rng.randrange(0, 1_000)
-            self.engine.schedule(delay, self.open_flow, server, client,
-                                 self.flow_bytes, True, query_id)
+            self.engine.schedule_fast(delay, self.open_flow, server, client,
+                                      self.flow_bytes, True, query_id)
         self._schedule_next()
 
     def _pick_servers(self, client: int) -> list:

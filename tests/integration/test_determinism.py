@@ -1,16 +1,16 @@
 """End-to-end determinism: identical seeds produce byte-identical runs.
 
-The digest covers everything a figure could be built from — the summary
-row, per-flow and per-query records, drop reasons, and the number of
-events executed — serialized to canonical JSON and hashed.  The runs
-execute in the same process, so any state leaking across runs (module
-globals, shared counters, RNG reuse) breaks the test.
+The digest (:func:`repro.experiments.digest.run_digest`) covers
+everything a figure could be built from — the summary row, per-flow and
+per-query records, drop reasons, and the number of events executed.  The
+runs execute in the same process, so any state leaking across runs
+(module globals, shared counters, RNG reuse) breaks the test.
+Cross-process agreement is covered by
+``tests/integration/test_parallel_sweep.py``.
 """
 
-import hashlib
-import json
-
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.digest import run_digest as _digest
 from repro.experiments.runner import run_experiment
 from repro.sim.units import MILLISECOND
 
@@ -22,32 +22,6 @@ def _config(seed: int, **overrides) -> ExperimentConfig:
     for key, value in overrides.items():
         setattr(config, key, value)
     return config
-
-
-def _digest(result) -> str:
-    """SHA-256 over a canonical JSON view of everything reportable."""
-    flows = [
-        (f.flow_id, f.src, f.dst, f.size, f.start_ns, f.end_ns,
-         f.bytes_delivered, f.is_incast, f.query_id, f.retransmissions)
-        for f in sorted(result.metrics.flows.values(),
-                        key=lambda f: f.flow_id)
-    ]
-    queries = [
-        (q.query_id, q.client, q.start_ns, q.n_flows, q.flows_done, q.end_ns)
-        for q in sorted(result.metrics.queries.values(),
-                        key=lambda q: q.query_id)
-    ]
-    view = {
-        "row": result.row(),
-        "drops": sorted(result.metrics.counters.drops.items()),
-        "events_executed": result.engine.events_executed,
-        "bg_flows": result.bg_flows_generated,
-        "queries_issued": result.queries_issued,
-        "flows": flows,
-        "queries": queries,
-    }
-    payload = json.dumps(view, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(payload.encode()).hexdigest()
 
 
 def test_same_seed_is_byte_identical():

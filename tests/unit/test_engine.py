@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.sim.engine import Engine
+from repro.sim.engine import COMPACTION_MIN_ENTRIES, Engine
+from repro.sim.timers import Timer
 
 
 def test_events_run_in_time_order():
@@ -118,3 +119,99 @@ def test_events_executed_accumulates():
     engine.schedule(2, lambda: None)
     engine.run()
     assert engine.events_executed == 2
+
+
+# -- tuple fast path ---------------------------------------------------------
+
+
+def test_fast_path_runs_in_time_order_with_events():
+    engine = Engine()
+    order = []
+    engine.schedule(30, order.append, "c")
+    engine.schedule_fast(10, order.append, "a")
+    engine.schedule(20, order.append, "b")
+    engine.run()
+    assert order == ["a", "b", "c"]
+    assert engine.now == 30
+
+
+def test_fast_path_interleaves_fifo_with_event_path():
+    # Same timestamp: both paths share one sequence counter, so execution
+    # order is exactly insertion order (priority still wins first).
+    engine = Engine()
+    order = []
+    engine.schedule(10, order.append, "a")
+    engine.schedule_fast(10, order.append, "b")
+    engine.schedule(10, order.append, "d", priority=5)
+    engine.schedule_fast(10, order.append, "c")
+    engine.run()
+    assert order == ["a", "b", "c", "d"]
+
+
+def test_fast_path_counts_and_clock():
+    engine = Engine()
+    engine.schedule_fast(7, lambda: None)
+    assert engine.pending() == 1
+    assert engine.peek_time() == 7
+    engine.run()
+    assert engine.now == 7
+    assert engine.events_executed == 1
+
+
+def test_fast_path_negative_delay_rejected():
+    with pytest.raises(ValueError):
+        Engine().schedule_fast(-1, lambda: None)
+
+
+def test_fast_path_survives_cancellation_around_it():
+    engine = Engine()
+    order = []
+    doomed = engine.schedule(10, order.append, "doomed")
+    engine.schedule_fast(10, order.append, "kept")
+    doomed.cancel()
+    engine.run()
+    assert order == ["kept"]
+
+
+# -- lazy cancellation + heap compaction -------------------------------------
+
+
+def test_retransmit_timer_resets_bound_heap_growth():
+    # The pathological pattern from transports: the RTO timer is re-armed
+    # on every ACK, cancelling the previous event each time.  Without
+    # compaction the calendar keeps every tombstone (10k entries here).
+    engine = Engine()
+    fired = []
+    rto = Timer(engine, fired.append, "rto")
+    for _ in range(10_000):
+        rto.start(1_000)
+    assert len(engine._heap) <= 2 * COMPACTION_MIN_ENTRIES
+    assert engine.pending() == 1
+    engine.run()
+    assert fired == ["rto"]
+    assert engine.now == 1_000
+
+
+def test_compaction_drops_tombstones_and_keeps_order():
+    engine = Engine()
+    fired = []
+    events = [engine.schedule(1_000 + i, fired.append, i)
+              for i in range(200)]
+    for event in events[:150]:
+        event.cancel()  # >50% cancelled on a big heap -> compaction
+    assert len(engine._heap) < 150  # tombstones physically removed
+    engine.run()
+    assert fired == list(range(150, 200))
+
+
+def test_small_heaps_never_compact():
+    # Below the size floor tombstones are only dropped lazily at pop
+    # time, so tiny calendars never pay the compaction churn.
+    engine = Engine()
+    events = [engine.schedule(10 + i, lambda: None) for i in range(10)]
+    for event in events:
+        event.cancel()
+    assert len(engine._heap) == 10
+    assert engine.pending() == 0
+    engine.run()
+    assert engine.events_executed == 0

@@ -1,0 +1,63 @@
+"""Routing caches: memoized per-flow decisions and their invalidation.
+
+The base policy memoizes static hash routing (per flow key) and the
+deflection target set (per excluded port); both must be dropped when
+:meth:`repro.net.switch.Switch.topology_changed` reports a runtime
+FIB/port/link change, and never consulted stale afterwards.
+"""
+
+from repro.forwarding.ecmp import EcmpPolicy
+from repro.net.queues import DropTailQueue
+from repro.sim.engine import Engine
+from tests.helpers import make_switch, mk_data, seeded_rng
+
+
+def _setup(n_fabric_ports=4):
+    engine = Engine()
+    switch, _, _ = make_switch(engine, n_host_ports=1,
+                               n_fabric_ports=n_fabric_ports)
+    policy = EcmpPolicy(switch, seeded_rng())
+    switch.policy = policy
+    return switch, policy
+
+
+def test_flow_hash_port_is_memoized():
+    switch, policy = _setup()
+    packet = mk_data(flow_id=7, dst=0)
+    first = policy.flow_hash_port(packet, salt=123)
+    # Poison the FIB without notifying the switch: the cached decision
+    # must be served without re-consulting it.
+    switch.fib[0] = (99,)
+    assert policy.flow_hash_port(packet, salt=123) == first
+
+
+def test_flow_hash_port_matches_uncached_decision():
+    switch, policy = _setup()
+    packet = mk_data(flow_id=7, dst=0)
+    cached = policy.flow_hash_port(packet, salt=123)
+    policy.invalidate_cache()
+    assert policy.flow_hash_port(packet, salt=123) == cached
+
+
+def test_topology_change_invalidates_flow_cache():
+    switch, policy = _setup()
+    packet = mk_data(flow_id=7, dst=0)
+    assert policy.flow_hash_port(packet, salt=123) == 0  # host 0's port
+    switch.fib[0] = (2,)  # reroute host 0 via fabric port 2
+    switch.topology_changed()
+    assert policy.flow_hash_port(packet, salt=123) == 2
+
+
+def test_topology_change_invalidates_deflection_targets():
+    switch, policy = _setup(n_fabric_ports=2)  # port 0 host, 1-2 fabric
+    assert policy.deflection_targets(exclude=1) == (2,)
+    new_port = switch.add_port(DropTailQueue(30_000), faces_switch=True)
+    switch.topology_changed()
+    assert policy.deflection_targets(exclude=1) == (2, new_port)
+
+
+def test_switch_ports_cache_resets_on_add_port():
+    switch, _ = _setup(n_fabric_ports=2)
+    assert switch.switch_ports == (1, 2)
+    port = switch.add_port(DropTailQueue(30_000), faces_switch=True)
+    assert switch.switch_ports == (1, 2, port)

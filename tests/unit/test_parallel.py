@@ -1,0 +1,52 @@
+"""Sweep executor: job-count resolution and worker initialization."""
+
+import os
+
+import pytest
+
+from repro.analysis import sanitize
+from repro.experiments import parallel
+
+
+def test_default_is_serial(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    assert parallel.resolve_jobs(None) == 1
+
+
+def test_explicit_argument_wins_over_env(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "7")
+    assert parallel.resolve_jobs(3) == 3
+
+
+def test_env_fallback(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "4")
+    assert parallel.resolve_jobs(None) == 4
+
+
+def test_zero_means_one_worker_per_cpu(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    expected = os.cpu_count() or 1
+    assert parallel.resolve_jobs(0) == expected
+    monkeypatch.setenv("REPRO_JOBS", "0")
+    assert parallel.resolve_jobs(None) == expected
+
+
+def test_bad_env_rejected(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "many")
+    with pytest.raises(ValueError):
+        parallel.resolve_jobs(None)
+
+
+def test_worker_init_installs_sanitizer_state(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "0")  # registers env restore
+    was_enabled = sanitize.enabled()
+    try:
+        parallel._worker_init(True)
+        assert sanitize.enabled()
+        assert os.environ["REPRO_SANITIZE"] == "1"
+        parallel._worker_init(False)
+        assert not sanitize.enabled()
+        assert os.environ["REPRO_SANITIZE"] == "0"
+    finally:
+        sanitize.set_enabled(was_enabled)
+        parallel._worker_state.clear()

@@ -42,7 +42,7 @@ def test_unknown_destination_raises():
 def test_switch_ports_lists_fabric_ports():
     engine = Engine()
     switch, _, _ = make_switch(engine, n_host_ports=2, n_fabric_ports=3)
-    assert switch.switch_ports == [2, 3, 4]
+    assert switch.switch_ports == (2, 3, 4)
 
 
 def test_drop_counts_by_reason():
