@@ -24,7 +24,9 @@ VR003     Unit discipline: no float-typed values flowing into names,
 VR004     No module-lifetime mutable state in ``repro.*``: module- or
           class-level assignments of mutable containers (or factories such
           as ``itertools.count()``) to non-CONSTANT-case names.
-VR005     ``.schedule(...)`` is never called with a literal negative delay.
+VR005     ``.schedule(...)`` is never called with a literal negative delay,
+          and no ``*_ns`` keyword (fault timestamps such as
+          ``FaultSpec(at_ns=...)`` included) receives a literal negative.
 ========  =======================================================================
 
 Suppression: append ``# noqa: VRxxx`` (or a bare ``# noqa``) to the
@@ -50,7 +52,7 @@ RULES: Dict[str, str] = {
     "VR002": "wall-clock read inside simulation code",
     "VR003": "float value or unrounded true division on a unit quantity",
     "VR004": "module-lifetime mutable state",
-    "VR005": "literal negative delay passed to schedule()",
+    "VR005": "literal negative delay or *_ns timestamp",
 }
 
 HINTS: Dict[str, str] = {
@@ -277,7 +279,10 @@ class _Checker(ast.NodeVisitor):
                     and _literal_negative(node.args[0]):
                 self._flag(node, "VR005",
                            "schedule() called with a literal negative delay")
-        # Keyword arguments carrying unit suffixes must stay integral.
+        # Keyword arguments carrying unit suffixes must stay integral,
+        # and scheduled timestamps (fault specs' at_ns in particular)
+        # must not be literal negatives — they address the engine
+        # calendar, which only runs forward.
         for keyword in node.keywords:
             if keyword.arg and _has_unit_suffix(keyword.arg):
                 taint = _float_taint(keyword.value)
@@ -285,6 +290,11 @@ class _Checker(ast.NodeVisitor):
                     self._flag(keyword.value, "VR003",
                                f"float value flows into keyword "
                                f"'{keyword.arg}'")
+                if keyword.arg.endswith("_ns") \
+                        and _literal_negative(keyword.value):
+                    self._flag(keyword.value, "VR005",
+                               f"literal negative timestamp passed to "
+                               f"keyword '{keyword.arg}'")
         if _call_name(node) in _ROUNDING_FUNCS:
             self.visit(func)
             self._round_depth += 1

@@ -18,6 +18,7 @@ from typing import List, Optional
 from repro.experiments.config import ALL_SYSTEMS, ExperimentConfig
 from repro.experiments.runner import run_experiment
 from repro.experiments.sweeps import format_table, sweep
+from repro.faults import parse_faults
 from repro.net.topology import FatTree
 from repro.sim.units import MILLISECOND
 
@@ -50,6 +51,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--sanitize", action="store_true",
                         help="run with the runtime invariant sanitizer "
                              "(repro.analysis.sanitize) enabled")
+    parser.add_argument("--fault", action="append", default=[],
+                        metavar="DIRECTIVE", dest="faults",
+                        help="inject a fault scenario, e.g. "
+                             "link:leaf0-spine1:down@50ms,up@120ms or "
+                             "link:leaf0-h3:rate=40mbps@10ms or "
+                             "link:leaf0-spine1:loss=0.01@0ms; "
+                             "repeatable")
     parser.add_argument("--seeds", type=int, default=1, metavar="N",
                         help="run N seeds (seed..seed+N-1) and print one "
                              "row per seed")
@@ -78,6 +86,7 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
             sim_time_ns=args.sim_ms * MILLISECOND,
             topology=topology, seed=args.seed)
     config.sanitize = args.sanitize
+    config.faults = parse_faults(args.faults)
     return config
 
 
@@ -94,6 +103,10 @@ def main(argv: Optional[List[str]] = None) -> int:
           f"{configs[0].topology!r} for "
           f"{configs[0].sim_time_ns // MILLISECOND} ms simulated "
           f"({len(configs)} seed(s)) ...", file=sys.stderr)
+    if configs[0].faults:
+        print("fault scenario: "
+              + "; ".join(spec.describe() for spec in configs[0].faults),
+              file=sys.stderr)
     if len(configs) == 1:
         results = [run_experiment(configs[0])]
     else:

@@ -18,10 +18,11 @@ Two constructors cover the common cases:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Optional, Sequence, Tuple
 
 from repro.core.flowinfo import MarkingDiscipline
 from repro.core.ordering import DEFAULT_TIMEOUT_NS
+from repro.faults.spec import FaultSpec
 from repro.forwarding.vertigo import VertigoSwitchParams
 from repro.net.builder import NetworkParams
 from repro.net.topology import (
@@ -101,6 +102,10 @@ class ExperimentConfig:
     workload: WorkloadConfig = field(default_factory=WorkloadConfig)
     sim_time_ns: int = 5 * SECOND
     seed: int = 1
+    #: Fault-injection scenario (:mod:`repro.faults`): timed link
+    #: down/up, rate degradation and corruption loss, applied
+    #: deterministically during the run.  Empty = healthy fabric.
+    faults: Tuple[FaultSpec, ...] = ()
     #: Attach a deflection-aware telemetry monitor sampling at this
     #: interval (§5 extension); None disables monitoring.
     telemetry_interval_ns: Optional[int] = None
@@ -138,6 +143,7 @@ class ExperimentConfig:
                       bg_distribution: str = "cache_follower",
                       sim_time_ns: int = 200 * MILLISECOND,
                       topology: Optional[Topology] = None,
+                      faults: Sequence[FaultSpec] = (),
                       seed: int = 1, **system_kwargs) -> "ExperimentConfig":
         """Scaled-down instance for laptop-speed sweeps (see DESIGN.md).
 
@@ -179,6 +185,7 @@ class ExperimentConfig:
                                     incast_scale=incast_scale,
                                     incast_flow_bytes=incast_flow_bytes),
             sim_time_ns=sim_time_ns,
+            faults=tuple(faults),
             seed=seed,
         )
 
@@ -193,4 +200,10 @@ class ExperimentConfig:
     def with_system(self, system: str, **system_kwargs) -> "ExperimentConfig":
         clone = replace(self)
         clone.system = SystemConfig(name=system, **system_kwargs)
+        return clone
+
+    def with_faults(self, faults: Sequence[FaultSpec]
+                    ) -> "ExperimentConfig":
+        clone = replace(self)
+        clone.faults = tuple(faults)
         return clone

@@ -30,6 +30,8 @@ def run_digest(result: RunResult) -> str:
     ]
     view = {
         "row": result.row(),
+        "faults": [(spec.kind, list(spec.link), spec.at_ns, spec.rate_bps,
+                    spec.loss_rate) for spec in result.config.faults],
         "drops": sorted(metrics.counters.drops.items()),
         "events_executed": result.engine.events_executed,
         "bg_flows": result.bg_flows_generated,

@@ -294,7 +294,20 @@ def _run_experiment(config: ExperimentConfig) -> RunResult:
             engine, network, interval_ns=config.telemetry_interval_ns)
         telemetry.start()
 
+    if config.faults:
+        from repro.faults import FaultInjector
+
+        injector = FaultInjector(
+            engine, network, rng, config.faults,
+            on_event=telemetry.record_fault if telemetry else None)
+        injector.schedule()
+
     engine.run(until=config.sim_time_ns)
+
+    if telemetry is not None:
+        # Detach the monitor from the calendar so its self-rescheduling
+        # tick cannot outlive the measured window.
+        telemetry.stop()
 
     return RunResult(
         config=config, metrics=metrics, network=network, engine=engine,

@@ -23,7 +23,7 @@ from __future__ import annotations
 import abc
 import random
 import zlib
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.net.packet import Packet
 from repro.net.switch import Switch
@@ -55,17 +55,21 @@ class ForwardingPolicy(abc.ABC):
 
     # -- shared helpers --------------------------------------------------------
 
-    def flow_hash_port(self, packet: Packet, salt: int) -> int:
+    def flow_hash_port(self, packet: Packet, salt: int) -> Optional[int]:
         """ECMP-style static per-flow hash over the FIB candidates.
 
         The choice depends only on (flow id, src, dst, salt) and the FIB
         entry, so it is memoized per flow key; the cache is invalidated by
-        :meth:`invalidate_cache` when the topology changes.
+        :meth:`invalidate_cache` when the topology changes.  Returns
+        ``None`` when the live FIB holds no candidates (the switch lost
+        every path to the destination) — callers drop with ``no_route``.
         """
         key = (packet.flow_id, packet.src, packet.dst)
         port = self._flow_port_cache.get(key)
         if port is None:
             candidates = self.switch.candidates(packet.dst)
+            if not candidates:
+                return None
             digest = zlib.crc32(
                 f"{key[0]}:{key[1]}:{key[2]}:{salt}".encode())
             port = candidates[digest % len(candidates)]

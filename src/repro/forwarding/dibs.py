@@ -41,6 +41,9 @@ class DibsPolicy(ForwardingPolicy):
     def route(self, packet: Packet, in_port: int) -> None:
         port = self._ecmp_port(packet)
         switch = self.switch
+        if port is None:
+            switch.drop(packet, "no_route")
+            return
         if switch.ports[port].fits(packet):
             switch.enqueue(port, packet)
             return

@@ -32,9 +32,17 @@ class DrillPolicy(ForwardingPolicy):
         # per destination prefix; here, per FIB candidate tuple).
         self._memory: Dict[Tuple[int, ...], Tuple[int, ...]] = {}
 
+    def invalidate_cache(self) -> None:
+        """Also forget least-loaded memory keyed by stale FIB tuples."""
+        super().invalidate_cache()
+        self._memory.clear()
+
     def route(self, packet: Packet, in_port: int) -> None:
         switch = self.switch
         candidates = switch.candidates(packet.dst)
+        if not candidates:
+            switch.drop(packet, "no_route")
+            return
         if len(candidates) == 1:
             port = candidates[0]
         else:

@@ -32,6 +32,9 @@ class EcmpPolicy(ForwardingPolicy):
 
     def route(self, packet: Packet, in_port: int) -> None:
         port = self.flow_hash_port(packet, self._salt)
+        if port is None:
+            self.switch.drop(packet, "no_route")
+            return
         if self.switch.ports[port].fits(packet):
             self.switch.enqueue(port, packet)
         else:

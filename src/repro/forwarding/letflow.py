@@ -39,6 +39,9 @@ class LetFlowPolicy(ForwardingPolicy):
 
     def route(self, packet: Packet, in_port: int) -> None:
         candidates = self.switch.candidates(packet.dst)
+        if not candidates:
+            self.switch.drop(packet, "no_route")
+            return
         now = self.engine_now()
         entry = self._flowlets.get(packet.flow_id)
         if (entry is None or now - entry[1] > self.flowlet_gap_ns

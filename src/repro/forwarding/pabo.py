@@ -38,6 +38,9 @@ class PaboPolicy(ForwardingPolicy):
     def route(self, packet: Packet, in_port: int) -> None:
         switch = self.switch
         port = self._ecmp_port(packet)
+        if port is None:
+            switch.drop(packet, "no_route")
+            return
         if switch.ports[port].fits(packet):
             switch.enqueue(port, packet)
             return

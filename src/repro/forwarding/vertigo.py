@@ -68,6 +68,9 @@ class VertigoPolicy(ForwardingPolicy):
 
     def route(self, packet: Packet, in_port: int) -> None:
         candidates = self.switch.candidates(packet.dst)
+        if not candidates:
+            self.switch.drop(packet, "no_route")
+            return
         port = self.power_of_n_choice(candidates, self.params.fw_choices)
         if self.switch.ports[port].fits(packet):
             self.switch.enqueue(port, packet)

@@ -4,16 +4,24 @@ Creates switches (with the queue flavour and forwarding policy the
 evaluated system requires), hosts (with the stack composition), links in
 both directions, and pre-populates every switch FIB with multipath
 next-hop candidates (paper §3.2 assumes pre-populated forwarding tables).
+
+The built :class:`Network` is the *mutation surface* for runtime
+rewiring (:mod:`repro.faults`): it registers every directed link and its
+transmitting port under canonical endpoint labels (switch names, hosts
+as ``h<id>``), tracks the set of dead cables, and recomputes every
+switch FIB over the surviving edges on demand
+(:meth:`Network.rebuild_routes`).  The topology object itself is never
+mutated, so configs can share one across runs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.host.host import Host, HostStackConfig
 from repro.metrics.collector import MetricsCollector
-from repro.net.link import Link
+from repro.net.link import Link, Port
 from repro.net.queues import DropTailQueue, RankedQueue, SharedBufferPool
 from repro.net.switch import DEFAULT_MAX_HOPS, Switch
 from repro.net.topology import Topology
@@ -22,6 +30,16 @@ from repro.sim.rng import RngRegistry
 from repro.sim.units import gbps, kb, usecs
 
 PolicyFactory = Callable[[Switch, "RngRegistry"], object]
+
+
+def cable_key(a: str, b: str) -> Tuple[str, str]:
+    """Canonical (sorted) endpoint pair naming a full-duplex cable."""
+    return (a, b) if a <= b else (b, a)
+
+
+def host_label(host_id: int) -> str:
+    """The endpoint label hosts are registered under (``h<id>``)."""
+    return f"h{host_id}"
 
 
 @dataclass(frozen=True)
@@ -60,7 +78,17 @@ class NetworkParams:
 
 
 class Network:
-    """A fully wired simulated datacenter network."""
+    """A fully wired simulated datacenter network.
+
+    Beyond the device containers, the network carries the runtime
+    rewiring state: ``links`` maps each *directed* channel (keyed
+    ``(src_label, dst_label)``) to its :class:`~repro.net.link.Link`,
+    ``tx_ports`` maps the same key to the transmitting
+    :class:`~repro.net.link.Port`, ``port_of`` maps ``(switch name, peer
+    key)`` to the egress port index the builder wired, and
+    ``dead_cables`` is the live set of failed cables routes are computed
+    around.
+    """
 
     def __init__(self, engine: Engine, topology: Topology,
                  params: NetworkParams, metrics: MetricsCollector) -> None:
@@ -70,6 +98,10 @@ class Network:
         self.metrics = metrics
         self.switches: Dict[str, Switch] = {}
         self.hosts: List[Host] = []
+        self.links: Dict[Tuple[str, str], Link] = {}
+        self.tx_ports: Dict[Tuple[str, str], Port] = {}
+        self.port_of: Dict[Tuple[str, object], int] = {}
+        self.dead_cables: Set[Tuple[str, str]] = set()
 
     def host(self, host_id: int) -> Host:
         return self.hosts[host_id]
@@ -79,6 +111,77 @@ class Network:
             for port in switch.ports:
                 yield switch.name, port.index, port.queue
 
+    # -- runtime rewiring ------------------------------------------------------
+
+    def cable_links(self, a: str, b: str) -> Tuple[Link, Link]:
+        """Both directed links of the cable between endpoints ``a``/``b``."""
+        try:
+            return self.links[(a, b)], self.links[(b, a)]
+        except KeyError:
+            raise ValueError(
+                f"no cable between {a!r} and {b!r}; endpoints are switch "
+                f"names or h<id> host labels") from None
+
+    def set_cable_state(self, a: str, b: str, up: bool) -> None:
+        """Cut or restore the full-duplex cable ``a``–``b``.
+
+        Cutting a switch-switch cable removes it from the live edge set
+        and recomputes every FIB; cutting a host access cable only stops
+        its traffic (routes to the host's ToR are unaffected).  Restoring
+        re-kicks both transmit loops so held queues drain immediately.
+        """
+        forward, backward = self.cable_links(a, b)
+        forward.set_up(up)
+        backward.set_up(up)
+        key = cable_key(a, b)
+        if a in self.switches and b in self.switches:
+            if up:
+                self.dead_cables.discard(key)
+            else:
+                self.dead_cables.add(key)
+            self.rebuild_routes()
+        if up:
+            self.tx_ports[(a, b)].kick()
+            self.tx_ports[(b, a)].kick()
+
+    def set_cable_rate(self, a: str, b: str, rate_bps: int) -> None:
+        """Degrade/restore both directions of a cable to ``rate_bps``."""
+        forward, backward = self.cable_links(a, b)
+        forward.set_rate(rate_bps)
+        backward.set_rate(rate_bps)
+
+    def set_cable_loss(self, a: str, b: str, loss_rate: float,
+                       loss_rng=None) -> None:
+        """Impose (or heal, with 0) corruption loss on both directions."""
+        forward, backward = self.cable_links(a, b)
+        forward.set_loss(loss_rate, loss_rng)
+        backward.set_loss(loss_rate, loss_rng)
+
+    def rebuild_routes(self, strict: bool = False) -> None:
+        """Recompute every switch FIB over the live (non-dead) edge set.
+
+        BFS runs from each ToR excluding ``dead_cables``; switches that
+        lose all paths to a ToR get empty candidate tuples, which the
+        forwarding policies turn into ``no_route`` drops.  Every switch
+        is then told its topology changed so memoized flow-hash and
+        deflection decisions are re-derived against the new FIBs.
+        """
+        topology = self.topology
+        next_hops = topology.next_hop_table(exclude=self.dead_cables,
+                                            strict=strict)
+        port_of = self.port_of
+        for host_id in range(topology.n_hosts):
+            tor_name = topology.host_tor(host_id)
+            for switch in self.switches.values():
+                if switch.name == tor_name:
+                    switch.fib[host_id] = (port_of[(tor_name, host_id)],)
+                else:
+                    names = next_hops[switch.name][tor_name]
+                    switch.fib[host_id] = tuple(
+                        port_of[(switch.name, name)] for name in names)
+        for switch in self.switches.values():
+            switch.topology_changed()
+
 
 def build_network(engine: Engine, topology: Topology, params: NetworkParams,
                   metrics: MetricsCollector, stack: HostStackConfig,
@@ -87,8 +190,8 @@ def build_network(engine: Engine, topology: Topology, params: NetworkParams,
     """Instantiate and wire the whole network."""
     network = Network(engine, topology, params, metrics)
 
-    def count_link_loss(packet) -> None:
-        metrics.counters.drops["link_loss"] += 1
+    def count_wire_drop(packet, reason: str) -> None:
+        metrics.counters.drops[reason] += 1
 
     def make_link(rate_bps: int, delay_ns: int, dst, dst_port: int,
                   name: str) -> Link:
@@ -96,8 +199,9 @@ def build_network(engine: Engine, topology: Topology, params: NetworkParams,
             return Link(engine, rate_bps, delay_ns, dst, dst_port,
                         loss_rate=params.link_loss_rate,
                         loss_rng=rng.stream(f"linkloss:{name}"),
-                        on_loss=count_link_loss)
-        return Link(engine, rate_bps, delay_ns, dst, dst_port)
+                        on_drop=count_wire_drop)
+        return Link(engine, rate_bps, delay_ns, dst, dst_port,
+                    on_drop=count_wire_drop)
 
     pools: Dict[str, SharedBufferPool] = {}
 
@@ -125,7 +229,12 @@ def build_network(engine: Engine, topology: Topology, params: NetworkParams,
 
     # (switch name, peer key) -> port index, where peer key is a switch
     # name or a host id.
-    port_of: Dict[Tuple[str, object], int] = {}
+    port_of = network.port_of
+
+    def register(src_label: str, dst_label: str, link: Link,
+                 tx_port: Port) -> None:
+        network.links[(src_label, dst_label)] = link
+        network.tx_ports[(src_label, dst_label)] = tx_port
 
     # Host access links.
     for host_id in range(topology.n_hosts):
@@ -133,12 +242,16 @@ def build_network(engine: Engine, topology: Topology, params: NetworkParams,
         host = network.hosts[host_id]
         port = tor.add_port(make_queue(tor.name), faces_switch=False)
         port_of[(tor.name, host_id)] = port
-        tor.ports[port].attach(make_link(
+        down_link = make_link(
             params.host_rate_bps, params.host_link_delay_ns, host, 0,
-            f"{tor.name}->h{host_id}"))
-        host.attach(make_link(
+            f"{tor.name}->h{host_id}")
+        tor.ports[port].attach(down_link)
+        up_link = make_link(
             params.host_rate_bps, params.host_link_delay_ns, tor, port,
-            f"h{host_id}->{tor.name}"))
+            f"h{host_id}->{tor.name}")
+        host.attach(up_link)
+        register(tor.name, host_label(host_id), down_link, tor.ports[port])
+        register(host_label(host_id), tor.name, up_link, host.nic)
 
     # Fabric links (both directions of each cable).
     for name_a, name_b in topology.switch_adjacency:
@@ -148,24 +261,20 @@ def build_network(engine: Engine, topology: Topology, params: NetworkParams,
         port_b = switch_b.add_port(make_queue(name_b), faces_switch=True)
         port_of[(name_a, name_b)] = port_a
         port_of[(name_b, name_a)] = port_b
-        switch_a.ports[port_a].attach(make_link(
+        link_ab = make_link(
             params.fabric_rate_bps, params.fabric_link_delay_ns,
-            switch_b, port_b, f"{name_a}->{name_b}"))
-        switch_b.ports[port_b].attach(make_link(
+            switch_b, port_b, f"{name_a}->{name_b}")
+        link_ba = make_link(
             params.fabric_rate_bps, params.fabric_link_delay_ns,
-            switch_a, port_a, f"{name_b}->{name_a}"))
+            switch_a, port_a, f"{name_b}->{name_a}")
+        switch_a.ports[port_a].attach(link_ab)
+        switch_b.ports[port_b].attach(link_ba)
+        register(name_a, name_b, link_ab, switch_a.ports[port_a])
+        register(name_b, name_a, link_ba, switch_b.ports[port_b])
 
     # FIBs: expand per-ToR next-hop names into per-host port candidates.
-    next_hops = topology.next_hop_table()
-    for host_id in range(topology.n_hosts):
-        tor_name = topology.host_tor(host_id)
-        for switch in network.switches.values():
-            if switch.name == tor_name:
-                switch.fib[host_id] = (port_of[(tor_name, host_id)],)
-            else:
-                names = next_hops[switch.name][tor_name]
-                switch.fib[host_id] = tuple(
-                    port_of[(switch.name, name)] for name in names)
+    # Build-time wiring is strict: an unreachable ToR is a config error.
+    network.rebuild_routes(strict=True)
 
     for switch in network.switches.values():
         switch.policy = policy_factory(

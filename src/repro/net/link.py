@@ -6,19 +6,36 @@ non-empty, the head (or minimum-rank) packet is serialized for
 ``wire_bytes * 8 / rate`` and then delivered to the peer device after the
 link's propagation delay.  A full-duplex cable between two devices is two
 directed links.
+
+Links carry runtime-mutable failure state for the fault-injection
+subsystem (:mod:`repro.faults`):
+
+- **up/down** — a down link transmits nothing: the owning port holds its
+  queue (packets accumulate and overflow upstream by policy).  A packet
+  *mid-serialization* at the down instant finishes serializing and is
+  then dropped at the wire with reason ``link_down`` (its bits hit a dead
+  cable); a packet already *propagating* (``deliver`` already scheduled)
+  was committed to the wire before the cut and still arrives.
+- **rate** — takes effect from the next serialization; the in-flight
+  packet keeps the rate it started with.
+- **corruption loss** — each delivery is independently dropped with the
+  configured probability, drawn from the caller-supplied named RNG
+  stream so digests stay reproducible.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional, Protocol, Union
+from typing import TYPE_CHECKING, Callable, Optional, Protocol, Union
 
 from repro.sim.engine import Engine
 from repro.sim.units import transmission_delay_ns
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.packet import Packet
     from repro.net.queues import DropTailQueue, RankedQueue
 
     PortQueue = Union[DropTailQueue, RankedQueue]
+    DropCallback = Callable[["Packet", str], None]
 
 
 class Device(Protocol):
@@ -32,17 +49,22 @@ class Device(Protocol):
 class Link:
     """A directed channel delivering packets to a peer device's input.
 
-    Optional failure injection: with ``loss_rate`` > 0 each delivery is
+    Failure injection: ``up`` gates delivery (see the module docstring
+    for in-flight semantics); with ``loss_rate`` > 0 each delivery is
     independently corrupted (dropped) with that probability, modelling
-    bit errors or a flaky cable.  Losses are counted via ``on_loss``.
+    bit errors or a flaky cable.  Corruption losses are counted via
+    ``on_loss`` (legacy single-purpose hook) and every wire drop —
+    corruption or dead link — is reported to ``on_drop(packet, reason)``.
     """
 
     __slots__ = ("engine", "rate_bps", "delay_ns", "dst", "dst_port",
-                 "loss_rate", "loss_rng", "on_loss", "losses")
+                 "loss_rate", "loss_rng", "on_loss", "on_drop", "losses",
+                 "up")
 
     def __init__(self, engine: Engine, rate_bps: int, delay_ns: int,
                  dst: Device, dst_port: int, *, loss_rate: float = 0.0,
-                 loss_rng=None, on_loss=None) -> None:
+                 loss_rng=None, on_loss=None,
+                 on_drop: Optional["DropCallback"] = None) -> None:
         if rate_bps <= 0:
             raise ValueError("link rate must be positive")
         if delay_ns < 0:
@@ -59,15 +81,47 @@ class Link:
         self.loss_rate = loss_rate
         self.loss_rng = loss_rng
         self.on_loss = on_loss
+        self.on_drop = on_drop
         self.losses = 0
+        self.up = True
+
+    # -- runtime rewiring (fault injection) -----------------------------------
+
+    def set_up(self, up: bool) -> None:
+        """Raise or cut the link.  The owning port re-kicks itself on up."""
+        self.up = up
+
+    def set_rate(self, rate_bps: int) -> None:
+        """Degrade (or restore) the link rate; next serialization uses it."""
+        if rate_bps <= 0:
+            raise ValueError("link rate must be positive")
+        self.rate_bps = rate_bps
+
+    def set_loss(self, loss_rate: float, loss_rng=None) -> None:
+        """Impose (or heal, with 0) a probabilistic corruption loss."""
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss rate must be in [0, 1)")
+        if loss_rate > 0.0 and loss_rng is None and self.loss_rng is None:
+            raise ValueError("lossy links need a random stream")
+        self.loss_rate = loss_rate
+        if loss_rng is not None:
+            self.loss_rng = loss_rng
+
+    # -- dataplane ------------------------------------------------------------
 
     def deliver(self, packet) -> None:
         """Schedule arrival at the peer after the propagation delay."""
+        if not self.up:
+            if self.on_drop is not None:
+                self.on_drop(packet, "link_down")
+            return
         if self.loss_rate > 0.0 \
                 and self.loss_rng.random() < self.loss_rate:
             self.losses += 1
             if self.on_loss is not None:
                 self.on_loss(packet)
+            if self.on_drop is not None:
+                self.on_drop(packet, "link_loss")
             return
         self.engine.schedule_fast(self.delay_ns, self.dst.receive, packet,
                                   self.dst_port)
@@ -108,8 +162,13 @@ class Port:
     def fits(self, packet) -> bool:
         return self.queue.fits(packet)
 
+    def kick(self) -> None:
+        """Restart the transmit loop (after a link comes back up)."""
+        self._try_transmit()
+
     def _try_transmit(self) -> None:
-        if self.busy or self.link is None or not self.queue:
+        if self.busy or self.link is None or not self.link.up \
+                or not self.queue:
             return
         packet = self.queue.pop(self.engine.now)
         self.busy = True

@@ -12,13 +12,22 @@ one hop closer to ``t``.  This yields exactly the classic ECMP up-down
 path sets in both topologies, and it also gives *deflected* packets (which
 may find themselves anywhere in the fabric) a valid route onward from any
 switch.
+
+Route computation runs over a *live* link set: every method takes an
+optional ``exclude`` collection of dead cables (canonical sorted endpoint
+pairs, see :func:`repro.faults.spec.cable_key`), so the fault-injection
+subsystem recomputes routes by BFS over the surviving edges without
+mutating the topology object itself.  With ``strict=False``,
+:meth:`Topology.next_hop_table` maps unreachable ToRs to empty candidate
+tuples instead of raising — forwarding policies translate those into
+``no_route`` drops at runtime.
 """
 
 from __future__ import annotations
 
 import abc
 from collections import deque
-from typing import Dict, List, Sequence, Tuple
+from typing import Collection, Dict, List, Optional, Sequence, Tuple
 
 
 class Topology(abc.ABC):
@@ -43,16 +52,22 @@ class Topology(abc.ABC):
 
     # -- shared route computation ---------------------------------------------
 
-    def neighbours(self) -> Dict[str, List[str]]:
+    def neighbours(self, exclude: Optional[Collection[Tuple[str, str]]]
+                   = None) -> Dict[str, List[str]]:
+        """Adjacency lists over the live cables (``exclude`` = dead set)."""
         adjacency: Dict[str, List[str]] = {name: []
                                            for name in self.switch_names}
         for a, b in self.switch_adjacency:
+            if exclude and ((a, b) if a <= b else (b, a)) in exclude:
+                continue
             adjacency[a].append(b)
             adjacency[b].append(a)
         return adjacency
 
-    def bfs_distances(self, source: str) -> Dict[str, int]:
-        adjacency = self.neighbours()
+    def bfs_distances(self, source: str,
+                      exclude: Optional[Collection[Tuple[str, str]]] = None,
+                      ) -> Dict[str, int]:
+        adjacency = self.neighbours(exclude)
         distances = {source: 0}
         frontier = deque([source])
         while frontier:
@@ -63,24 +78,34 @@ class Topology(abc.ABC):
                     frontier.append(neighbour)
         return distances
 
-    def next_hop_table(self) -> Dict[str, Dict[str, Tuple[str, ...]]]:
+    def next_hop_table(self,
+                       exclude: Optional[Collection[Tuple[str, str]]] = None,
+                       strict: bool = True,
+                       ) -> Dict[str, Dict[str, Tuple[str, ...]]]:
         """``table[switch][tor]`` = names of neighbours one hop closer.
 
         Keys are ToR names; the builder expands them to per-host FIB
-        entries (all hosts behind a ToR share its entry).
+        entries (all hosts behind a ToR share its entry).  ``exclude``
+        removes dead cables from the BFS; with ``strict=False`` a switch
+        that cannot reach a ToR over the surviving edges gets an empty
+        candidate tuple instead of a :class:`ValueError` (build-time
+        wiring stays strict, runtime rewiring tolerates partitions).
         """
-        adjacency = self.neighbours()
+        adjacency = self.neighbours(exclude)
         tors = sorted({self.host_tor(host) for host in range(self.n_hosts)})
         table: Dict[str, Dict[str, Tuple[str, ...]]] = {
             name: {} for name in self.switch_names}
         for tor in tors:
-            distances = self.bfs_distances(tor)
+            distances = self.bfs_distances(tor, exclude)
             for switch in self.switch_names:
                 if switch == tor:
                     continue
                 if switch not in distances:
-                    raise ValueError(
-                        f"switch {switch} cannot reach ToR {tor}")
+                    if strict:
+                        raise ValueError(
+                            f"switch {switch} cannot reach ToR {tor}")
+                    table[switch][tor] = ()
+                    continue
                 closer = tuple(sorted(
                     neighbour for neighbour in adjacency[switch]
                     if distances.get(neighbour, -1)

@@ -12,10 +12,12 @@ or persistently congested (drops occur).
 
 from repro.telemetry.monitor import (
     CongestionEvent,
+    FaultEvent,
     PortSample,
     TelemetryMonitor,
+    TelemetryReport,
     TelemetrySummary,
 )
 
-__all__ = ["TelemetryMonitor", "TelemetrySummary", "PortSample",
-           "CongestionEvent"]
+__all__ = ["TelemetryMonitor", "TelemetrySummary", "TelemetryReport",
+           "PortSample", "CongestionEvent", "FaultEvent"]

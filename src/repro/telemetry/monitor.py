@@ -10,6 +10,10 @@ tracks the deflection and drop deltas.  Intervals are classified:
   drop-based monitor would have missed entirely (§5's observation);
 - ``persistent`` — packets were dropped: deflection capacity was
   exhausted, i.e. long-lasting, network-wide congestion.
+
+Fault-injection events (:mod:`repro.faults`) land on the same timeline
+as :class:`FaultEvent` records, so a congestion episode can be read
+against the link failure that caused it (:meth:`TelemetryMonitor.timeline`).
 """
 
 from __future__ import annotations
@@ -19,7 +23,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.metrics.collector import NetworkCounters
 from repro.net.builder import Network
-from repro.sim.engine import Engine
+from repro.sim.engine import Engine, Event
 
 
 @dataclass(frozen=True)
@@ -46,19 +50,29 @@ class CongestionEvent:
     hottest_utilization: float
 
 
-@dataclass
-class TelemetrySummary:
-    """Picklable snapshot of a monitor's observations.
+@dataclass(frozen=True)
+class FaultEvent:
+    """One applied fault-injection event on the congestion timeline."""
 
-    Carries the recorded samples/events and the same reporting surface as
-    :class:`TelemetryMonitor`, without the live engine/network references,
-    so telemetry survives transfer from sweep worker processes.
+    time_ns: int
+    kind: str                 # "link_down" | "link_up" | "link_rate" | ...
+    link: Tuple[str, str]
+
+
+class TelemetryReport:
+    """Reporting surface shared by the live monitor and its snapshot.
+
+    Implementations provide ``samples``, ``events`` and ``faults``
+    lists; the derived statistics are defined once here so the monitor
+    and :class:`TelemetrySummary` can never drift apart.
     """
 
-    samples: List[PortSample] = field(default_factory=list)
-    events: List[CongestionEvent] = field(default_factory=list)
+    samples: List[PortSample]
+    events: List[CongestionEvent]
+    faults: List[FaultEvent]
 
     def mean_utilization(self, switch: Optional[str] = None) -> float:
+        """Average sampled utilization, optionally for one switch."""
         pool = [s.utilization for s in self.samples
                 if switch is None or s.switch == switch]
         return sum(pool) / len(pool) if pool else 0.0
@@ -69,8 +83,32 @@ class TelemetrySummary:
     def persistent_count(self) -> int:
         return sum(1 for e in self.events if e.kind == "persistent")
 
+    def fault_count(self) -> int:
+        return len(self.faults)
 
-class TelemetryMonitor:
+    def timeline(self) -> List[object]:
+        """Congestion and fault events merged in time order."""
+        merged: List[object] = [*self.events, *self.faults]
+        merged.sort(key=lambda event: event.time_ns)
+        return merged
+
+
+@dataclass
+class TelemetrySummary(TelemetryReport):
+    """Picklable snapshot of a monitor's observations.
+
+    Carries the recorded samples/events/faults and the same reporting
+    surface as :class:`TelemetryMonitor` (via :class:`TelemetryReport`),
+    without the live engine/network references, so telemetry survives
+    transfer from sweep worker processes.
+    """
+
+    samples: List[PortSample] = field(default_factory=list)
+    events: List[CongestionEvent] = field(default_factory=list)
+    faults: List[FaultEvent] = field(default_factory=list)
+
+
+class TelemetryMonitor(TelemetryReport):
     """Samples a running :class:`~repro.net.builder.Network`."""
 
     def __init__(self, engine: Engine, network: Network,
@@ -85,17 +123,19 @@ class TelemetryMonitor:
             microburst_deflection_threshold
         self.samples: List[PortSample] = []
         self.events: List[CongestionEvent] = []
+        self.faults: List[FaultEvent] = []
         self._last_bytes: Dict[Tuple[str, int], int] = {}
         self._last_deflections = 0
         self._last_drops = 0
         self._running = False
+        self._pending: Optional[Event] = None
 
     @property
     def counters(self) -> NetworkCounters:
         return self.network.metrics.counters
 
     def start(self) -> None:
-        """Begin sampling; reschedules itself until the run ends."""
+        """Begin sampling; reschedules itself until stopped."""
         if self._running:
             return
         self._running = True
@@ -105,9 +145,30 @@ class TelemetryMonitor:
                     port.bytes_sent
         self._last_deflections = self.counters.deflections
         self._last_drops = self.counters.total_drops
-        self.engine.schedule_fast(self.interval_ns, self._tick)
+        self._pending = self.engine.schedule(self.interval_ns, self._tick)
+
+    def stop(self) -> None:
+        """Stop sampling and cancel the pending tick.
+
+        Without this the self-rescheduling tick outlives the measured
+        window whenever the engine keeps running past it (long-horizon
+        runs, multi-phase experiments); the runner calls it at teardown.
+        """
+        if not self._running:
+            return
+        self._running = False
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+
+    def record_fault(self, kind: str, link: Tuple[str, str]) -> None:
+        """Record an applied fault-injection event (injector callback)."""
+        self.faults.append(FaultEvent(time_ns=self.engine.now, kind=kind,
+                                      link=link))
 
     def _tick(self) -> None:
+        if not self._running:
+            return
         now = self.engine.now
         hottest: Optional[PortSample] = None
         for switch in self.network.switches.values():
@@ -130,7 +191,7 @@ class TelemetryMonitor:
                         or sample.utilization > hottest.utilization:
                     hottest = sample
         self._classify(now, hottest)
-        self.engine.schedule_fast(self.interval_ns, self._tick)
+        self._pending = self.engine.schedule(self.interval_ns, self._tick)
 
     def _classify(self, now: int, hottest: Optional[PortSample]) -> None:
         deflections = self.counters.deflections
@@ -154,17 +215,11 @@ class TelemetryMonitor:
     # -- reporting ---------------------------------------------------------------
 
     def summary(self) -> TelemetrySummary:
-        """Detach the observations from the live engine/network."""
-        return TelemetrySummary(samples=self.samples, events=self.events)
+        """Detach the observations from the live engine/network.
 
-    def mean_utilization(self, switch: Optional[str] = None) -> float:
-        """Average sampled utilization, optionally for one switch."""
-        pool = [s.utilization for s in self.samples
-                if switch is None or s.switch == switch]
-        return sum(pool) / len(pool) if pool else 0.0
-
-    def microburst_count(self) -> int:
-        return sum(1 for e in self.events if e.kind == "microburst")
-
-    def persistent_count(self) -> int:
-        return sum(1 for e in self.events if e.kind == "persistent")
+        The lists are copied: a summary is a snapshot, and must not keep
+        growing if the monitor ticks again after it was taken.
+        """
+        return TelemetrySummary(samples=list(self.samples),
+                                events=list(self.events),
+                                faults=list(self.faults))

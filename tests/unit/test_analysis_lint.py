@@ -241,6 +241,27 @@ def test_vr005_zero_and_variable_delays_are_fine():
     """) == []
 
 
+def test_vr005_literal_negative_fault_timestamp():
+    assert "VR005" in codes("""
+        from repro.faults import FaultSpec
+        spec = FaultSpec(kind="down", link=("a", "b"), at_ns=-5)
+    """)
+
+
+def test_vr005_negative_ns_keyword_anywhere():
+    assert "VR005" in codes("""
+        def f(g):
+            g(deadline_ns=-1)
+    """)
+
+
+def test_vr005_nonnegative_fault_timestamp_is_fine():
+    assert codes("""
+        from repro.faults import FaultSpec
+        spec = FaultSpec(kind="down", link=("a", "b"), at_ns=50_000_000)
+    """) == []
+
+
 # -- suppression and configuration ---------------------------------------------
 
 

@@ -104,3 +104,58 @@ def test_event_records_hottest_port():
     assert event.kind == "microburst"
     assert event.deflections == 3
     assert event.hottest_port[0] in network.switches
+
+
+def test_stop_halts_sampling():
+    engine, network = _idle_network()
+    monitor = TelemetryMonitor(engine, network, interval_ns=100_000)
+    monitor.start()
+    engine.run(until=250_000)
+    monitor.stop()
+    engine.run(until=1_000_000)
+    assert {s.time_ns for s in monitor.samples} == {100_000, 200_000}
+    # stop() is idempotent and start() resumes cleanly afterwards.
+    monitor.stop()
+    monitor.start()
+    engine.run(until=1_150_000)
+    assert max(s.time_ns for s in monitor.samples) > 1_000_000
+
+
+def test_summary_is_detached_snapshot():
+    engine, network = _idle_network()
+    monitor = TelemetryMonitor(engine, network, interval_ns=100_000)
+    monitor.start()
+    engine.run(until=250_000)
+    monitor.record_fault("link_down", ("leaf0", "spine0"))
+    summary = monitor.summary()
+    n_samples, n_faults = len(summary.samples), len(summary.faults)
+    # Later monitor activity must not leak into the snapshot.
+    engine.run(until=1_000_000)
+    monitor.record_fault("link_up", ("leaf0", "spine0"))
+    assert len(summary.samples) == n_samples
+    assert len(summary.faults) == n_faults
+    assert len(monitor.samples) > n_samples
+    # The shared report surface computes identically on both types.
+    assert summary.mean_utilization() == pytest.approx(
+        sum(s.utilization for s in summary.samples) / n_samples)
+    assert summary.fault_count() == 1
+
+
+def test_record_fault_lands_on_timeline():
+    engine, network = _idle_network()
+    monitor = TelemetryMonitor(engine, network, interval_ns=100_000,
+                               microburst_deflection_threshold=1)
+    monitor.start()
+    network.metrics.counters.deflections += 3
+    engine.run(until=150_000)
+    monitor.record_fault("link_down", ("leaf0", "spine1"))
+    engine.run(until=250_000)
+    monitor.record_fault("link_up", ("leaf0", "spine1"))
+    assert [f.kind for f in monitor.faults] == ["link_down", "link_up"]
+    assert [f.time_ns for f in monitor.faults] == [150_000, 250_000]
+    timeline = monitor.timeline()
+    # Congestion events and fault events interleave in time order.
+    assert [type(e).__name__ for e in timeline] \
+        == ["CongestionEvent", "FaultEvent", "FaultEvent"]
+    assert all(timeline[i].time_ns <= timeline[i + 1].time_ns
+               for i in range(len(timeline) - 1))
