@@ -39,7 +39,7 @@ def bench_config(system: str, transport: str = "dctcp", *,
 def run_row(config: ExperimentConfig,
             extra: Optional[Dict[str, object]] = None) -> Dict[str, object]:
     result = run_experiment(config)
-    row = result.row()
+    row = result.report().row()
     if extra:
         row.update(extra)
     return row
@@ -57,7 +57,7 @@ def sweep_rows(configs: Sequence[ExperimentConfig],
     results = sweep(configs, jobs=jobs)
     rows = []
     for i, result in enumerate(results):
-        row = result.row()
+        row = result.report().row()
         if extras and extras[i]:
             row.update(extras[i])
         rows.append(row)

@@ -6,7 +6,19 @@ implementing the Vertigo selective-deflection design, its baselines
 (ECMP, DRILL, DIBS), three transports (TCP Reno, DCTCP, Swift), leaf-spine
 and fat-tree topologies, and the paper's workloads and experiments.
 
-Quickstart::
+Quickstart — the fluent façade (:mod:`repro.api`)::
+
+    from repro import Experiment
+
+    report = (Experiment.bench()
+              .system("vertigo")
+              .transport("dctcp")
+              .workload(bg_load=0.5, incast_load=0.25)
+              .run()
+              .report())
+    print(report.row())
+
+or the explicit config layer it wraps::
 
     from repro import ExperimentConfig, run_experiment
 
@@ -14,39 +26,72 @@ Quickstart::
                                             transport="dctcp",
                                             bg_load=0.5, incast_load=0.25)
     result = run_experiment(config)
-    print(result.row())
+    print(result.report().row())
+
+This module re-exports the blessed public surface (everything in
+``__all__``); anything else is an internal layer whose import path may
+change between releases.  A handful of previously-exported internals
+remain importable through deprecation shims (see ``_DEPRECATED``) and
+warn on access.
 """
 
+from repro.api import Experiment
 from repro.experiments import (
     ExperimentConfig,
+    RunReport,
     RunResult,
-    SystemConfig,
-    WorkloadConfig,
+    run_digest,
     run_experiment,
+    sweep,
 )
-from repro.core import (
-    FlowInfo,
-    MarkingComponent,
-    MarkingDiscipline,
-    OrderingComponent,
-)
-from repro.forwarding import VertigoSwitchParams
+from repro.faults import FaultSpec, parse_faults
 from repro.net import FatTree, LeafSpine
+from repro.trace import TraceConfig
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "Experiment",
     "ExperimentConfig",
-    "SystemConfig",
-    "WorkloadConfig",
     "RunResult",
+    "RunReport",
     "run_experiment",
-    "FlowInfo",
-    "MarkingComponent",
-    "MarkingDiscipline",
-    "OrderingComponent",
-    "VertigoSwitchParams",
+    "run_digest",
+    "sweep",
+    "TraceConfig",
+    "FaultSpec",
+    "parse_faults",
     "LeafSpine",
     "FatTree",
     "__version__",
 ]
+
+#: Former top-level exports, kept importable for one release.
+#: Maps name -> (canonical module, note for the warning text).
+_DEPRECATED = {
+    "SystemConfig": ("repro.experiments", ""),
+    "WorkloadConfig": ("repro.experiments", ""),
+    "FlowInfo": ("repro.core", ""),
+    "MarkingComponent": ("repro.core", ""),
+    "MarkingDiscipline": ("repro.core", ""),
+    "OrderingComponent": ("repro.core", ""),
+    "VertigoSwitchParams": ("repro.forwarding", ""),
+}
+
+
+def __getattr__(name: str):
+    """Deprecation shims for names dropped from the blessed surface."""
+    if name in _DEPRECATED:
+        import importlib
+        import warnings
+        module_path, note = _DEPRECATED[name]
+        warnings.warn(
+            f"importing {name!r} from 'repro' is deprecated; "
+            f"import it from {module_path!r} instead.{note}",
+            DeprecationWarning, stacklevel=2)
+        return getattr(importlib.import_module(module_path), name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted([*__all__, *_DEPRECATED])

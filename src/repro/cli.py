@@ -1,12 +1,19 @@
-"""Command-line interface: run one simulation and print its summary.
+"""Command-line interface (``python -m repro``).
 
-Usage::
+Subcommands::
 
-    python -m repro --system vertigo --transport dctcp \
-        --bg-load 0.5 --incast-load 0.25 --sim-ms 200
+    python -m repro run   --system vertigo --transport dctcp \\
+        --bg-load 0.5 --incast-load 0.25 --sim-ms 200 \\
+        --trace out.jsonl --trace-level packet --sample-us 100
+    python -m repro sweep --systems ecmp,drill,dibs,vertigo --seeds 3
+    python -m repro lint  src
+    python -m repro perf  --quick
+    python -m repro trace-view out.jsonl --validate --chrome out.json
 
-All knobs default to the scaled bench profile (DESIGN.md); pass
-``--paper-scale`` for the full 320-server configuration (slow!).
+A bare legacy invocation (flags with no subcommand, e.g.
+``python -m repro --system vertigo``) maps to ``run``.  All knobs
+default to the scaled bench profile (DESIGN.md); pass ``--paper-scale``
+for the full 320-server configuration (slow!).
 """
 
 from __future__ import annotations
@@ -21,18 +28,24 @@ from repro.experiments.sweeps import format_table, sweep
 from repro.faults import parse_faults
 from repro.net.topology import FatTree
 from repro.sim.units import MILLISECOND
+from repro.trace.tracer import TRACE_LEVELS, TraceConfig
+
+SUBCOMMANDS = ("run", "sweep", "lint", "perf", "trace-view")
+
+_EPILOG = (
+    "subcommands: run (default) | sweep | lint | perf | trace-view; "
+    "run `python -m repro <subcommand> --help` for each."
+)
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description="Vertigo (CoNEXT 2021) reproduction: run one "
-                    "simulated datacenter experiment.")
-    parser.add_argument("--system", choices=ALL_SYSTEMS,
-                        default="vertigo")
+def _add_experiment_arguments(parser: argparse.ArgumentParser) -> None:
+    """The experiment knobs shared by ``run`` and ``sweep``."""
     parser.add_argument("--transport",
                         choices=["reno", "tcp", "dctcp", "swift"],
-                        default="dctcp")
+                        default="dctcp",
+                        help="transport; 'tcp' is an alias for 'reno' "
+                             "(both select the Reno sender; rows and "
+                             "digests keep the name you passed)")
     parser.add_argument("--bg-load", type=float, default=0.5,
                         help="background load fraction (default 0.5)")
     parser.add_argument("--incast-load", type=float, default=0.25,
@@ -58,14 +71,49 @@ def build_parser() -> argparse.ArgumentParser:
                              "link:leaf0-h3:rate=40mbps@10ms or "
                              "link:leaf0-spine1:loss=0.01@0ms; "
                              "repeatable")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for multi-run invocations "
+                             "(default REPRO_JOBS, else serial; "
+                             "0 = all CPUs)")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="record a trace (repro.trace) and write it "
+                             "as deterministic JSONL to PATH")
+    parser.add_argument("--trace-level", choices=list(TRACE_LEVELS),
+                        default="flow",
+                        help="trace granularity: 'flow' (flow/query "
+                             "lifecycle + congestion-control events) or "
+                             "'packet' (adds per-packet queue/deflect/"
+                             "drop/ECN/ordering events)")
+    parser.add_argument("--sample-us", type=int, default=None, metavar="N",
+                        help="also sample port queues/utilization and "
+                             "flow cwnd every N microseconds of sim time")
+    parser.add_argument("--trace-chrome", default=None, metavar="PATH",
+                        help="additionally export the trace as Chrome "
+                             "trace_event JSON (Perfetto-openable)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``run`` parser (also the bare legacy invocation)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Vertigo (CoNEXT 2021) reproduction: run one "
+                    "simulated datacenter experiment.",
+        epilog=_EPILOG)
+    parser.add_argument("--system", choices=ALL_SYSTEMS,
+                        default="vertigo")
+    _add_experiment_arguments(parser)
     parser.add_argument("--seeds", type=int, default=1, metavar="N",
                         help="run N seeds (seed..seed+N-1) and print one "
                              "row per seed")
-    parser.add_argument("--jobs", type=int, default=None, metavar="N",
-                        help="worker processes for multi-seed runs "
-                             "(default REPRO_JOBS, else serial; "
-                             "0 = all CPUs)")
     return parser
+
+
+def _trace_config_from_args(args: argparse.Namespace
+                            ) -> Optional[TraceConfig]:
+    if not (args.trace or args.trace_chrome):
+        return None
+    period = args.sample_us * 1000 if args.sample_us else None
+    return TraceConfig(level=args.trace_level, sample_period_ns=period)
 
 
 def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
@@ -87,10 +135,33 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
             topology=topology, seed=args.seed)
     config.sanitize = args.sanitize
     config.faults = parse_faults(args.faults)
+    config.trace = _trace_config_from_args(args)
     return config
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def _export_traces(results, args: argparse.Namespace) -> None:
+    """Write the recorded traces (JSONL and/or Chrome) for a result list.
+
+    Results arrive in config order from both the serial and the parallel
+    executor, so multi-run trace files are deterministic: per-run JSONL
+    blocks concatenate in run order regardless of ``--jobs``.
+    """
+    traces = [result.trace for result in results
+              if result.trace is not None]
+    if not traces:
+        return
+    from repro.trace.export import write_chrome_trace, write_jsonl
+    if args.trace:
+        lines = write_jsonl(traces, args.trace)
+        print(f"trace: wrote {lines} JSONL lines ({len(traces)} run(s)) "
+              f"to {args.trace}", file=sys.stderr)
+    if args.trace_chrome:
+        count = write_chrome_trace(traces, args.trace_chrome)
+        print(f"trace: wrote {count} Chrome trace events to "
+              f"{args.trace_chrome}", file=sys.stderr)
+
+
+def _cmd_run(argv: List[str]) -> int:
     args = build_parser().parse_args(argv)
     if args.seeds < 1:
         print("--seeds must be >= 1", file=sys.stderr)
@@ -113,7 +184,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         results = sweep(configs, jobs=args.jobs)
     rows = []
     for config, result in zip(configs, results):
-        row = result.row()
+        row = result.report().row()
         row["seed"] = config.seed
         rows.append(row)
     print(format_table(rows))
@@ -123,7 +194,106 @@ def main(argv: Optional[List[str]] = None) -> int:
             print("\ndrops by reason: "
                   + ", ".join(f"{reason}={count}"
                               for reason, count in sorted(drops.items())))
+    _export_traces(results, args)
     return 0
+
+
+def _cmd_sweep(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro sweep",
+        description="Run a systems x seeds grid and print one row per "
+                    "point (the sweep fans out with --jobs).")
+    parser.add_argument("--systems", default="ecmp,drill,dibs,vertigo",
+                        help="comma-separated systems (default: the four "
+                             "compared in the paper)")
+    parser.add_argument("--seeds", type=int, default=1, metavar="N",
+                        help="seeds per system (seed..seed+N-1)")
+    _add_experiment_arguments(parser)
+    args = parser.parse_args(argv)
+    systems = [name.strip() for name in args.systems.split(",")
+               if name.strip()]
+    unknown = [name for name in systems if name not in ALL_SYSTEMS]
+    if unknown:
+        print(f"unknown system(s) {unknown}; choose from "
+              f"{list(ALL_SYSTEMS)}", file=sys.stderr)
+        return 2
+    if args.seeds < 1:
+        print("--seeds must be >= 1", file=sys.stderr)
+        return 2
+    base_seed = args.seed
+    configs = []
+    labels = []
+    for system in systems:
+        for seed in range(base_seed, base_seed + args.seeds):
+            args.system = system
+            args.seed = seed
+            configs.append(config_from_args(args))
+            labels.append({"system": system, "seed": seed})
+    print(f"sweeping {len(systems)} system(s) x {args.seeds} seed(s) = "
+          f"{len(configs)} run(s) ...", file=sys.stderr)
+    results = sweep(configs, jobs=args.jobs)
+    rows = []
+    for label, result in zip(labels, results):
+        row = result.report().row()
+        row["seed"] = label["seed"]
+        rows.append(row)
+    print(format_table(rows))
+    _export_traces(results, args)
+    return 0
+
+
+def _cmd_trace_view(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro trace-view",
+        description="Summarize, validate, or convert a JSONL trace file "
+                    "recorded with --trace.")
+    parser.add_argument("path", help="JSONL trace file")
+    parser.add_argument("--validate", action="store_true",
+                        help="check every line against the trace schema; "
+                             "exit 1 and list problems if any")
+    parser.add_argument("--chrome", default=None, metavar="OUT",
+                        help="convert to Chrome trace_event JSON at OUT")
+    args = parser.parse_args(argv)
+    from repro.trace.export import (
+        convert_jsonl_to_chrome,
+        summarize_file,
+        validate_file,
+    )
+    if args.validate:
+        problems = validate_file(args.path)
+        if problems:
+            for problem in problems:
+                print(problem, file=sys.stderr)
+            print(f"{args.path}: {len(problems)} problem(s)",
+                  file=sys.stderr)
+            return 1
+        print(f"{args.path}: valid", file=sys.stderr)
+    print(summarize_file(args.path))
+    if args.chrome:
+        count = convert_jsonl_to_chrome(args.path, args.chrome)
+        print(f"wrote {count} Chrome trace events to {args.chrome}",
+              file=sys.stderr)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in SUBCOMMANDS:
+        command, rest = argv[0], argv[1:]
+        if command == "run":
+            return _cmd_run(rest)
+        if command == "sweep":
+            return _cmd_sweep(rest)
+        if command == "lint":
+            from repro.analysis.lint import main as lint_main
+            return lint_main(rest)
+        if command == "perf":
+            from repro.perf import main as perf_main
+            return perf_main(rest)
+        if command == "trace-view":
+            return _cmd_trace_view(rest)
+    # Bare legacy invocation: flags only, no subcommand -> `run`.
+    return _cmd_run(argv)
 
 
 if __name__ == "__main__":  # pragma: no cover

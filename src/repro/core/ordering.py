@@ -30,8 +30,10 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.analysis import sanitize as _sanitize
 from repro.core.flowinfo import MarkingDiscipline
+from repro.trace import hooks as _trace_hooks
 
 _SANITIZE = _sanitize.register(__name__)
+_TRACE = _trace_hooks.register(__name__)
 from repro.net.packet import Packet, PacketKind
 from repro.sim.engine import Engine
 from repro.sim.timers import Timer
@@ -82,6 +84,8 @@ class OrderingComponent:
         self._flows: Dict[int, _FlowOrderState] = {}
         self.packets_buffered = 0
         self.timeouts_fired = 0
+        #: Owning host name (stamped by the host); trace identity.
+        self.label = ""
 
     def _checked_deliver(self, deliver: Callable[[Packet], None]
                          ) -> Callable[[Packet], None]:
@@ -117,6 +121,9 @@ class OrderingComponent:
             # Anything still buffered is stale duplicates; hand it up so
             # the transport can re-ACK, never silently swallow bytes.
             for tag in sorted(state.buffer, reverse=True):
+                if _TRACE is not None and _TRACE.packets:
+                    _TRACE.ord_release(self.engine.now, self.label,
+                                       flow_id, tag, "stale")
                 self.deliver(state.buffer[tag][0])
 
     def active_flows(self) -> int:
@@ -181,6 +188,8 @@ class OrderingComponent:
             return  # duplicate of an already-buffered early packet
         state.buffer[tag] = (packet, self.engine.now)
         self.packets_buffered += 1
+        if _TRACE is not None and _TRACE.packets:
+            _TRACE.ord_hold(self.engine.now, self.label, flow_id, tag)
         state.state = OrderingState.OUT_OF_ORDER
         if state.timer is None:
             state.timer = Timer(self.engine, self._on_timeout, flow_id)
@@ -190,8 +199,12 @@ class OrderingComponent:
     def _drain_buffer(self, state: _FlowOrderState, flow_id: int) -> None:
         """Deliver buffered packets that are now contiguous (event 2)."""
         while state.expected is not None and state.expected in state.buffer:
-            packet, _ = state.buffer.pop(state.expected)
-            self._deliver_in_order(packet, state.expected, state)
+            tag = state.expected
+            packet, _ = state.buffer.pop(tag)
+            if _TRACE is not None and _TRACE.packets:
+                _TRACE.ord_release(self.engine.now, self.label, flow_id,
+                                   tag, "drain")
+            self._deliver_in_order(packet, tag, state)
         live = self._flows.get(flow_id)
         if live is not state:
             return  # flow completed and was torn down during the drain
@@ -225,6 +238,9 @@ class OrderingComponent:
         tag = self._head_tag(state)
         while True:
             packet, _ = state.buffer.pop(tag)
+            if _TRACE is not None and _TRACE.packets:
+                _TRACE.ord_release(self.engine.now, self.label, flow_id,
+                                   tag, "timeout")
             state.expected = self._next_expected(tag, packet.payload)
             self.deliver(packet)
             next_tag = state.expected

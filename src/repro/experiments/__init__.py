@@ -19,8 +19,9 @@ from repro.experiments.config import (
 )
 from repro.experiments.digest import run_digest
 from repro.experiments.parallel import resolve_jobs, run_many
+from repro.experiments.report import RunReport
 from repro.experiments.runner import RunResult, run_experiment
-from repro.experiments.sweeps import load_sweep, sweep
+from repro.experiments.sweeps import format_table, load_sweep, sweep
 
 __all__ = [
     "ExperimentConfig",
@@ -28,10 +29,12 @@ __all__ = [
     "WorkloadConfig",
     "BENCH_SYSTEMS",
     "RunResult",
+    "RunReport",
     "run_experiment",
     "run_digest",
     "run_many",
     "resolve_jobs",
     "sweep",
     "load_sweep",
+    "format_table",
 ]

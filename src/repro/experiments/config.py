@@ -32,6 +32,7 @@ from repro.net.topology import (
     paper_leaf_spine,
 )
 from repro.sim.units import MILLISECOND, SECOND, gbps, kb, mbps, usecs
+from repro.trace.tracer import TraceConfig
 from repro.transport.base import TransportConfig
 
 #: The four systems the paper compares (§4.1).
@@ -114,6 +115,11 @@ class ExperimentConfig:
     #: REPRO_SANITIZE=1 scoped to the run.  Never changes results — only
     #: adds invariant checks along the hot paths.
     sanitize: bool = False
+    #: Observability (:mod:`repro.trace`): record flow- or packet-level
+    #: events and periodic samples during the run.  None (default) keeps
+    #: every hook dormant — the traced-off hot path costs one module-
+    #: global identity test per hook site.
+    trace: Optional[TraceConfig] = None
 
     # -- profiles --------------------------------------------------------------------
 

@@ -30,6 +30,12 @@ def run_digest(result: RunResult) -> str:
     ]
     view = {
         "row": result.row(),
+        # Traces are deterministic sim-time records; when enabled they are
+        # covered by the digest (the trace digest is itself a SHA-256 of
+        # the canonical JSONL export).  Untraced runs hash identically to
+        # runs from before tracing existed.
+        **({"trace": result.trace.digest()}
+           if result.trace is not None else {}),
         "faults": [(spec.kind, list(spec.link), spec.at_ns, spec.rate_bps,
                     spec.loss_rate) for spec in result.config.faults],
         "drops": sorted(metrics.counters.drops.items()),

@@ -1,0 +1,125 @@
+"""The unified result surface of a run: :class:`RunReport`.
+
+Historically a run's outcome was read through three partial surfaces —
+``RunResult.row()`` (the paper's summary metrics), ad-hoc reads of
+``MetricsCollector``, and ``TelemetryMonitor.summary()`` — each with its
+own shape.  ``RunReport`` replaces them with one documented object that
+``format_table``, the benchmark harness, and the CLI all consume.
+
+Schema (``to_dict()``), by section:
+
+- ``row`` — the paper-figure summary row, unchanged from the historical
+  ``RunResult.row()`` keys (``system``, ``transport``, ``load_pct``,
+  ``mean_fct_s``, ``p99_fct_s``, ``mean_qct_s``, ``p99_qct_s``,
+  ``flow_completion_pct``, ``query_completion_pct``, ``goodput_gbps``,
+  ``drop_pct``, ``deflections``, ``mean_hops``, ``reordered``,
+  ``retransmissions``).  The determinism digest hashes this row, so its
+  keys and values are stable by contract.
+- ``run`` — run identity and volume: ``seed``, ``sim_time_ns``,
+  ``events_executed``, ``bg_flows_generated``, ``queries_issued``,
+  ``flows_recorded``, ``queries_recorded``.
+- ``drops`` — per-reason drop counters (sorted by reason).
+- ``telemetry`` — congestion-monitor section (``mean_utilization``,
+  ``microbursts``, ``persistent``, ``fault_events``, ``samples``) or
+  None when no monitor was attached.
+- ``trace`` — observability section (``level``, ``events``, ``samples``,
+  ``dropped_events``, ``dropped_samples``, per-kind ``counts``) or None
+  when tracing was off.
+- ``profile`` — wall seconds per run phase (build/run/finalize).
+  Nondeterministic; excluded from digests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.runner import RunResult
+
+#: The summary-row keys, in their canonical order (digest-stable).
+ROW_KEYS = (
+    "system", "transport", "load_pct", "mean_fct_s", "p99_fct_s",
+    "mean_qct_s", "p99_qct_s", "flow_completion_pct",
+    "query_completion_pct", "goodput_gbps", "drop_pct", "deflections",
+    "mean_hops", "reordered", "retransmissions",
+)
+
+
+@dataclass
+class RunReport:
+    """One run's complete, picklable reporting surface."""
+
+    summary: Dict[str, object]
+    run: Dict[str, object]
+    drops: List[tuple]
+    telemetry: Optional[Dict[str, object]] = None
+    trace: Optional[Dict[str, object]] = None
+    profile: Dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_result(cls, result: "RunResult") -> "RunReport":
+        metrics = result.metrics
+        counters = metrics.counters
+        config = result.config
+        summary: Dict[str, object] = {
+            "system": config.system.name,
+            "transport": config.transport_name,
+            "load_pct": round(100 * config.workload.total_load),
+            "mean_fct_s": metrics.mean_fct_s(),
+            "p99_fct_s": metrics.p99_fct_s(),
+            "mean_qct_s": metrics.mean_qct_s(),
+            "p99_qct_s": metrics.p99_qct_s(),
+            "flow_completion_pct": metrics.flow_completion_pct(),
+            "query_completion_pct": metrics.query_completion_pct(),
+            # Reporting boundary: Gbit/s for the summary table.
+            "goodput_gbps":
+                metrics.goodput_bps(result.duration_ns) / 1e9,  # noqa: VR003
+            "drop_pct": 100 * counters.drop_rate(),
+            "deflections": counters.deflections,
+            "mean_hops": counters.mean_hops(),
+            "reordered": counters.reordered_arrivals,
+            "retransmissions": counters.retransmissions,
+        }
+        run = {
+            "seed": config.seed,
+            "sim_time_ns": config.sim_time_ns,
+            "events_executed": result.engine.events_executed,
+            "bg_flows_generated": result.bg_flows_generated,
+            "queries_issued": result.queries_issued,
+            "flows_recorded": len(metrics.flows),
+            "queries_recorded": len(metrics.queries),
+        }
+        telemetry = None
+        if result.telemetry is not None:
+            telemetry = result.telemetry.section()
+        trace = None
+        if result.trace is not None:
+            data = result.trace
+            trace = {
+                "level": data.config.level,
+                "events": len(data.events),
+                "samples": len(data.samples),
+                "dropped_events": data.dropped_events,
+                "dropped_samples": data.dropped_samples,
+                "counts": data.counts(),
+            }
+        return cls(summary=summary, run=run,
+                   drops=sorted(counters.drops.items()),
+                   telemetry=telemetry, trace=trace,
+                   profile=dict(result.profile))
+
+    def row(self) -> Dict[str, object]:
+        """The paper-figure summary row (historical ``RunResult.row()``)."""
+        return {key: self.summary[key] for key in ROW_KEYS}
+
+    def to_dict(self) -> Dict[str, object]:
+        """The full documented schema (see module docstring)."""
+        return {
+            "row": self.row(),
+            "run": dict(self.run),
+            "drops": [list(item) for item in self.drops],
+            "telemetry": dict(self.telemetry) if self.telemetry else None,
+            "trace": dict(self.trace) if self.trace else None,
+            "profile": dict(self.profile),
+        }

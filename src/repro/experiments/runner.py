@@ -7,7 +7,7 @@
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Dict, Optional
 
 from repro.analysis import sanitize as _sanitize
@@ -24,6 +24,8 @@ from repro.metrics.collector import MetricsCollector
 from repro.net.builder import Network, NetworkParams, build_network
 from repro.sim.engine import Engine
 from repro.sim.rng import RngRegistry
+from repro.trace import PhaseProfiler, TraceData, Tracer, TraceSampler
+from repro.trace import hooks as _trace_hooks
 from repro.transport import TRANSPORTS
 from repro.transport.base import TransportConfig
 from repro.transport.dctcp import DEFAULT_MARKING_THRESHOLD_PKTS
@@ -144,6 +146,11 @@ class RunResult:
     bg_flows_generated: int
     queries_issued: int
     telemetry: Optional[object] = None
+    #: Detached observability record (``config.trace`` enabled), or None.
+    trace: Optional[TraceData] = None
+    #: Wall seconds per run phase (build/run/finalize).  Nondeterministic
+    #: by nature; excluded from digests and deterministic exports.
+    profile: Dict[str, float] = field(default_factory=dict)
 
     @property
     def duration_ns(self) -> int:
@@ -165,30 +172,18 @@ class RunResult:
             engine=EngineStats(now=self.engine.now,
                                events_executed=self.engine.events_executed),
             bg_flows_generated=self.bg_flows_generated,
-            queries_issued=self.queries_issued, telemetry=telemetry)
+            queries_issued=self.queries_issued, telemetry=telemetry,
+            trace=self.trace, profile=dict(self.profile))
+
+    def report(self):
+        """The unified :class:`~repro.experiments.report.RunReport`."""
+        from repro.experiments.report import RunReport
+
+        return RunReport.from_result(self)
 
     def row(self) -> Dict[str, float]:
         """One summary row — the quantities the paper's figures report."""
-        metrics = self.metrics
-        counters = metrics.counters
-        return {
-            "system": self.config.system.name,
-            "transport": self.config.transport_name,
-            "load_pct": round(100 * self.config.workload.total_load),
-            "mean_fct_s": metrics.mean_fct_s(),
-            "p99_fct_s": metrics.p99_fct_s(),
-            "mean_qct_s": metrics.mean_qct_s(),
-            "p99_qct_s": metrics.p99_qct_s(),
-            "flow_completion_pct": metrics.flow_completion_pct(),
-            "query_completion_pct": metrics.query_completion_pct(),
-            # Reporting boundary: Gbit/s for the summary table.
-            "goodput_gbps": metrics.goodput_bps(self.duration_ns) / 1e9,  # noqa: VR003
-            "drop_pct": 100 * counters.drop_rate(),
-            "deflections": counters.deflections,
-            "mean_hops": counters.mean_hops(),
-            "reordered": counters.reordered_arrivals,
-            "retransmissions": counters.retransmissions,
-        }
+        return self.report().row()
 
 
 def run_experiment(config: ExperimentConfig) -> RunResult:
@@ -205,112 +200,143 @@ def run_experiment(config: ExperimentConfig) -> RunResult:
 
 
 def _run_experiment(config: ExperimentConfig) -> RunResult:
-    engine = Engine()
-    rng = RngRegistry(config.seed)
-    metrics = MetricsCollector()
-    system = config.system
+    profiler = PhaseProfiler()
+    tracer = Tracer(config.trace) if config.trace is not None else None
+    with profiler.phase("build"):
+        engine = Engine()
+        rng = RngRegistry(config.seed)
+        metrics = MetricsCollector()
+        system = config.system
 
-    transport = resolve_transport_config(config)
-    network_params = config.network
-    if config.transport_name == "dctcp" \
-            and network_params.ecn_threshold_bytes is None:
-        network_params = replace(
-            network_params,
-            ecn_threshold_bytes=derive_ecn_threshold(network_params,
-                                                     transport.mss))
+        transport = resolve_transport_config(config)
+        network_params = config.network
+        if config.transport_name == "dctcp" \
+                and network_params.ecn_threshold_bytes is None:
+            network_params = replace(
+                network_params,
+                ecn_threshold_bytes=derive_ecn_threshold(network_params,
+                                                         transport.mss))
 
-    is_vertigo = system.name == "vertigo"
-    ordering_timeout = system.ordering_timeout_ns \
-        if system.ordering_timeout_ns is not None \
-        else derive_ordering_timeout(network_params)
-    stack = HostStackConfig(
-        transport_cls=TRANSPORTS[config.transport_name],
-        transport=transport,
-        vertigo_marking=is_vertigo,
-        vertigo_ordering=is_vertigo and system.ordering,
-        marking_discipline=system.marking_discipline,
-        boost_factor=system.boost_factor,
-        boosting=system.boosting,
-        ordering_timeout_ns=ordering_timeout,
-    )
+        is_vertigo = system.name == "vertigo"
+        ordering_timeout = system.ordering_timeout_ns \
+            if system.ordering_timeout_ns is not None \
+            else derive_ordering_timeout(network_params)
+        stack = HostStackConfig(
+            transport_cls=TRANSPORTS[config.transport_name],
+            transport=transport,
+            vertigo_marking=is_vertigo,
+            vertigo_ordering=is_vertigo and system.ordering,
+            marking_discipline=system.marking_discipline,
+            boost_factor=system.boost_factor,
+            boosting=system.boosting,
+            ordering_timeout_ns=ordering_timeout,
+        )
 
-    use_ranked = is_vertigo and system.vertigo_switch.scheduling
-    network = build_network(engine, config.topology, network_params,
-                            metrics, stack, _policy_factory(config), rng,
-                            use_ranked_queues=use_ranked)
+        use_ranked = is_vertigo and system.vertigo_switch.scheduling
+        network = build_network(engine, config.topology, network_params,
+                                metrics, stack, _policy_factory(config), rng,
+                                use_ranked_queues=use_ranked)
 
-    flow_ids = itertools.count(1)
+        flow_ids = itertools.count(1)
 
-    def open_flow(src: int, dst: int, size: int, is_incast: bool = False,
-                  query_id: Optional[int] = None) -> None:
-        flow_id = next(flow_ids)
-        metrics.flow_started(flow_id, src, dst, size, engine.now,
-                             is_incast=is_incast, query_id=query_id)
-        src_host = network.hosts[src]
-        dst_host = network.hosts[dst]
+        def open_flow(src: int, dst: int, size: int, is_incast: bool = False,
+                      query_id: Optional[int] = None) -> None:
+            flow_id = next(flow_ids)
+            metrics.flow_started(flow_id, src, dst, size, engine.now,
+                                 is_incast=is_incast, query_id=query_id)
+            src_host = network.hosts[src]
+            dst_host = network.hosts[dst]
 
-        def on_rx_done() -> None:
-            if dst_host.ordering is not None:
-                dst_host.ordering.flow_done(flow_id)
+            def on_rx_done() -> None:
+                if dst_host.ordering is not None:
+                    dst_host.ordering.flow_done(flow_id)
 
-        dst_host.open_receiver(flow_id, src, size, on_complete=on_rx_done)
-        sender = src_host.open_sender(
-            flow_id, dst, size,
-            on_complete=lambda: src_host.sender_done(flow_id))
-        sender.start()
+            dst_host.open_receiver(flow_id, src, size,
+                                   on_complete=on_rx_done)
+            sender = src_host.open_sender(
+                flow_id, dst, size,
+                on_complete=lambda: src_host.sender_done(flow_id))
+            sender.start()
 
-    workload = config.workload
-    background = None
-    if workload.bg_load > 0:
-        sizes = get_distribution(workload.bg_distribution,
-                                 truncate_at=workload.bg_size_cap)
-        background = BackgroundTraffic(
-            engine, open_flow, config.topology.n_hosts,
-            network_params.host_rate_bps, workload.bg_load, sizes,
-            rng.stream("background"), until_ns=config.sim_time_ns)
-        background.start()
+        workload = config.workload
+        background = None
+        if workload.bg_load > 0:
+            sizes = get_distribution(workload.bg_distribution,
+                                     truncate_at=workload.bg_size_cap)
+            background = BackgroundTraffic(
+                engine, open_flow, config.topology.n_hosts,
+                network_params.host_rate_bps, workload.bg_load, sizes,
+                rng.stream("background"), until_ns=config.sim_time_ns)
+            background.start()
 
-    incast = None
-    qps = workload.incast_qps
-    if qps is None and workload.incast_load:
-        qps = qps_for_load(workload.incast_load, config.topology.n_hosts,
-                           network_params.host_rate_bps,
-                           workload.incast_scale,
-                           workload.incast_flow_bytes)
-    if qps:
-        incast = IncastApp(engine, open_flow, metrics,
-                           config.topology.n_hosts, qps,
-                           workload.incast_scale,
-                           workload.incast_flow_bytes,
-                           rng.stream("incast"),
-                           until_ns=config.sim_time_ns)
-        incast.start()
+        incast = None
+        qps = workload.incast_qps
+        if qps is None and workload.incast_load:
+            qps = qps_for_load(workload.incast_load,
+                               config.topology.n_hosts,
+                               network_params.host_rate_bps,
+                               workload.incast_scale,
+                               workload.incast_flow_bytes)
+        if qps:
+            incast = IncastApp(engine, open_flow, metrics,
+                               config.topology.n_hosts, qps,
+                               workload.incast_scale,
+                               workload.incast_flow_bytes,
+                               rng.stream("incast"),
+                               until_ns=config.sim_time_ns)
+            incast.start()
 
-    telemetry = None
-    if config.telemetry_interval_ns:
-        from repro.telemetry import TelemetryMonitor
+        telemetry = None
+        if config.telemetry_interval_ns:
+            from repro.telemetry import TelemetryMonitor
 
-        telemetry = TelemetryMonitor(
-            engine, network, interval_ns=config.telemetry_interval_ns)
-        telemetry.start()
+            telemetry = TelemetryMonitor(
+                engine, network, interval_ns=config.telemetry_interval_ns)
+            telemetry.start()
 
-    if config.faults:
-        from repro.faults import FaultInjector
+        if config.faults:
+            from repro.faults import FaultInjector
 
-        injector = FaultInjector(
-            engine, network, rng, config.faults,
-            on_event=telemetry.record_fault if telemetry else None)
-        injector.schedule()
+            injector = FaultInjector(
+                engine, network, rng, config.faults,
+                on_event=telemetry.record_fault if telemetry else None)
+            injector.schedule()
 
-    engine.run(until=config.sim_time_ns)
+        sampler = None
+        if tracer is not None and config.trace.sample_period_ns:
+            sampler = TraceSampler(engine, network, tracer,
+                                   config.trace.sample_period_ns)
+            sampler.start()
 
-    if telemetry is not None:
-        # Detach the monitor from the calendar so its self-rescheduling
-        # tick cannot outlive the measured window.
-        telemetry.stop()
+    if tracer is not None:
+        with _trace_hooks.activated(tracer), profiler.phase("run"):
+            engine.run(until=config.sim_time_ns)
+    else:
+        with profiler.phase("run"):
+            engine.run(until=config.sim_time_ns)
+
+    with profiler.phase("finalize"):
+        if telemetry is not None:
+            # Detach the monitor from the calendar so its self-rescheduling
+            # tick cannot outlive the measured window.
+            telemetry.stop()
+        if sampler is not None:
+            sampler.stop()
+
+        trace_data = None
+        if tracer is not None:
+            topology = config.topology
+            trace_data = tracer.detach(meta={
+                "seed": config.seed,
+                "system": config.system.name,
+                "transport": config.transport_name,
+                "sim_time_ns": config.sim_time_ns,
+                "topology": f"{type(topology).__name__}"
+                            f"({topology.n_hosts} hosts)",
+            })
 
     return RunResult(
         config=config, metrics=metrics, network=network, engine=engine,
         bg_flows_generated=background.flows_generated if background else 0,
         queries_issued=incast.queries_issued if incast else 0,
-        telemetry=telemetry)
+        telemetry=telemetry, trace=trace_data, profile=profiler.report())

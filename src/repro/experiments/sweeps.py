@@ -31,11 +31,16 @@ def load_sweep(make_config: Callable[[float], ExperimentConfig],
     return run_many([make_config(load) for load in loads], jobs=jobs)
 
 
-def format_table(rows: List[Dict[str, object]],
+def format_table(rows: List[object],
                  columns: Optional[Sequence[str]] = None) -> str:
-    """Render result rows as an aligned text table for bench output."""
+    """Render result rows as an aligned text table for bench output.
+
+    Accepts plain dict rows, :class:`~repro.experiments.report.RunReport`
+    objects, or :class:`RunResult` objects (anything with a ``row()``).
+    """
     if not rows:
         return "(no rows)"
+    rows = [row.row() if hasattr(row, "row") else row for row in rows]
     if columns is None:
         columns = list(rows[0].keys())
 

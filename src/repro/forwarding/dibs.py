@@ -57,6 +57,5 @@ class DibsPolicy(ForwardingPolicy):
             switch.drop(packet, "deflect_failed")
             return
         choice = self.rng.choice(targets)
-        packet.deflections += 1
-        switch.counters.deflections += 1
+        switch.deflected(packet, port, choice)
         switch.enqueue(choice, packet)

@@ -53,6 +53,5 @@ class PaboPolicy(ForwardingPolicy):
                 or not switch.ports[in_port].fits(packet)):
             switch.drop(packet, "bounce_failed")
             return
-        packet.deflections += 1
-        switch.counters.deflections += 1
+        switch.deflected(packet, port, in_port)
         switch.enqueue(in_port, packet)

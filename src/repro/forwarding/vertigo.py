@@ -125,8 +125,7 @@ class VertigoPolicy(ForwardingPolicy):
             switch.drop(packet, "no_deflection_target")
             return
         chosen = self.power_of_n_choice(targets, self.params.def_choices)
-        packet.deflections += 1
-        switch.counters.deflections += 1
+        switch.deflected(packet, exclude, chosen)
         if switch.ports[chosen].fits(packet):
             switch.enqueue(chosen, packet)
             return

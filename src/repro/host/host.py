@@ -22,7 +22,10 @@ from repro.net.link import Link, Port
 from repro.net.packet import Packet, PacketKind
 from repro.net.queues import DropTailQueue
 from repro.sim.engine import Engine
+from repro.trace import hooks as _trace_hooks
 from repro.transport.base import FlowReceiver, FlowSender, TransportConfig
+
+_TRACE = _trace_hooks.register(__name__)
 
 
 @dataclass(frozen=True)
@@ -51,8 +54,9 @@ class Host:
         self.stack = stack
         self.metrics = metrics
 
-        self.nic = Port(engine, self, 0,
-                        DropTailQueue(stack.nic_buffer_bytes))
+        nic_queue = DropTailQueue(stack.nic_buffer_bytes)
+        nic_queue.label = self.name
+        self.nic = Port(engine, self, 0, nic_queue)
         self.marking: Optional[MarkingComponent] = None
         if stack.vertigo_marking:
             self.marking = MarkingComponent(
@@ -67,6 +71,7 @@ class Host:
                 timeout_ns=stack.ordering_timeout_ns,
                 boost_factor=stack.boost_factor,
                 discipline=stack.marking_discipline)
+            self.ordering.label = self.name
 
         self.senders: Dict[int, FlowSender] = {}
         self.receivers: Dict[int, FlowReceiver] = {}
@@ -104,9 +109,14 @@ class Host:
         if self.marking is not None:
             self.marking.mark(packet)
         if self.nic.fits(packet):
+            if _TRACE is not None and _TRACE.packets:
+                _TRACE.pkt_enqueue(self.engine.now, self.name, 0, packet)
             self.nic.enqueue(packet)
         else:
             self.metrics.counters.drops["host_nic_overflow"] += 1
+            if _TRACE is not None and _TRACE.packets:
+                _TRACE.pkt_drop(self.engine.now, self.name,
+                                "host_nic_overflow", packet)
 
     # -- RX path -----------------------------------------------------------------------
 
@@ -127,6 +137,8 @@ class Host:
         if packet.kind is PacketKind.DATA:
             counters.delivered += 1
             counters.hops_delivered += packet.hops
+            if _TRACE is not None and _TRACE.packets:
+                _TRACE.pkt_deliver(self.engine.now, self.name, packet)
             receiver = self.receivers.get(packet.flow_id)
             if (self.ordering is not None and receiver is not None
                     and not receiver.completed):

@@ -16,6 +16,9 @@ from typing import Dict, Iterable, List, Optional
 
 from repro.metrics.stats import mean, percentile
 from repro.sim.units import SECOND
+from repro.trace import hooks as _trace_hooks
+
+_TRACE = _trace_hooks.register(__name__)
 
 
 @dataclass
@@ -103,6 +106,9 @@ class MetricsCollector:
                             start_ns=start_ns, is_incast=is_incast,
                             query_id=query_id)
         self.flows[flow_id] = record
+        if _TRACE is not None:
+            _TRACE.flow_start(start_ns, flow_id, src, dst, size, is_incast,
+                              query_id)
         return record
 
     def flow_progress(self, flow_id: int, delivered_bytes: int) -> None:
@@ -116,11 +122,15 @@ class MetricsCollector:
             return
         record.end_ns = end_ns
         record.bytes_delivered = record.size
+        if _TRACE is not None:
+            _TRACE.flow_end(end_ns, flow_id, record.fct_ns)
         if record.query_id is not None:
             query = self.queries[record.query_id]
             query.flows_done += 1
             if query.flows_done == query.n_flows and query.end_ns is None:
                 query.end_ns = end_ns
+                if _TRACE is not None:
+                    _TRACE.query_end(end_ns, query.query_id, query.qct_ns)
 
     # -- query lifecycle ----------------------------------------------------
 
@@ -129,6 +139,8 @@ class MetricsCollector:
         record = QueryRecord(query_id=query_id, client=client,
                              start_ns=start_ns, n_flows=n_flows)
         self.queries[query_id] = record
+        if _TRACE is not None:
+            _TRACE.query_start(start_ns, query_id, client, n_flows)
         return record
 
     # -- summaries -----------------------------------------------------------

@@ -199,9 +199,9 @@ def build_network(engine: Engine, topology: Topology, params: NetworkParams,
             return Link(engine, rate_bps, delay_ns, dst, dst_port,
                         loss_rate=params.link_loss_rate,
                         loss_rng=rng.stream(f"linkloss:{name}"),
-                        on_drop=count_wire_drop)
+                        on_drop=count_wire_drop, label=name)
         return Link(engine, rate_bps, delay_ns, dst, dst_port,
-                    on_drop=count_wire_drop)
+                    on_drop=count_wire_drop, label=name)
 
     pools: Dict[str, SharedBufferPool] = {}
 
@@ -216,9 +216,11 @@ def build_network(engine: Engine, topology: Topology, params: NetworkParams,
                 pool.total_bytes = 0
                 pools[switch_name] = pool
             pool.expand(params.buffer_bytes)
-        return queue_cls(params.buffer_bytes,
-                         ecn_threshold_bytes=params.ecn_threshold_bytes,
-                         pool=pool)
+        queue = queue_cls(params.buffer_bytes,
+                          ecn_threshold_bytes=params.ecn_threshold_bytes,
+                          pool=pool)
+        queue.label = switch_name
+        return queue
 
     for name in topology.switch_names:
         network.switches[name] = Switch(engine, name, metrics.counters,

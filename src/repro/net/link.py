@@ -29,6 +29,9 @@ from typing import TYPE_CHECKING, Callable, Optional, Protocol, Union
 
 from repro.sim.engine import Engine
 from repro.sim.units import transmission_delay_ns
+from repro.trace import hooks as _trace_hooks
+
+_TRACE = _trace_hooks.register(__name__)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.packet import Packet
@@ -59,12 +62,13 @@ class Link:
 
     __slots__ = ("engine", "rate_bps", "delay_ns", "dst", "dst_port",
                  "loss_rate", "loss_rng", "on_loss", "on_drop", "losses",
-                 "up")
+                 "up", "label")
 
     def __init__(self, engine: Engine, rate_bps: int, delay_ns: int,
                  dst: Device, dst_port: int, *, loss_rate: float = 0.0,
                  loss_rng=None, on_loss=None,
-                 on_drop: Optional["DropCallback"] = None) -> None:
+                 on_drop: Optional["DropCallback"] = None,
+                 label: str = "") -> None:
         if rate_bps <= 0:
             raise ValueError("link rate must be positive")
         if delay_ns < 0:
@@ -84,6 +88,9 @@ class Link:
         self.on_drop = on_drop
         self.losses = 0
         self.up = True
+        #: Directed-channel name (``src->dst``), the trace identity for
+        #: wire drops.  Stamped by the network builder.
+        self.label = label
 
     # -- runtime rewiring (fault injection) -----------------------------------
 
@@ -114,6 +121,9 @@ class Link:
         if not self.up:
             if self.on_drop is not None:
                 self.on_drop(packet, "link_down")
+            if _TRACE is not None and _TRACE.packets:
+                _TRACE.pkt_drop(self.engine.now, self.label, "link_down",
+                                packet)
             return
         if self.loss_rate > 0.0 \
                 and self.loss_rng.random() < self.loss_rate:
@@ -122,6 +132,9 @@ class Link:
                 self.on_loss(packet)
             if self.on_drop is not None:
                 self.on_drop(packet, "link_loss")
+            if _TRACE is not None and _TRACE.packets:
+                _TRACE.pkt_drop(self.engine.now, self.label, "link_loss",
+                                packet)
             return
         self.engine.schedule_fast(self.delay_ns, self.dst.receive, packet,
                                   self.dst_port)
@@ -171,6 +184,9 @@ class Port:
                 or not self.queue:
             return
         packet = self.queue.pop(self.engine.now)
+        if _TRACE is not None and _TRACE.packets:
+            _TRACE.pkt_dequeue(self.engine.now, self.owner.name, self.index,
+                               packet)
         self.busy = True
         tx_delay = transmission_delay_ns(packet.wire_bytes,
                                          self.link.rate_bps)

@@ -24,8 +24,10 @@ from typing import Deque, List, Optional
 from repro.analysis import sanitize as _sanitize
 from repro.core.scheduler import RankQueue
 from repro.net.packet import Packet
+from repro.trace import hooks as _trace_hooks
 
 _SANITIZE = _sanitize.register(__name__)
+_TRACE = _trace_hooks.register(__name__)
 
 
 @dataclass
@@ -101,6 +103,8 @@ class _BoundedQueue:
         self.pool = pool
         self.bytes = 0
         self.stats = QueueStats()
+        #: Owning node name, stamped by the builder/host; trace identity.
+        self.label = ""
 
     def fits(self, packet: Packet) -> bool:
         if self.pool is not None:
@@ -119,6 +123,8 @@ class _BoundedQueue:
                 and self.bytes >= self.ecn_threshold_bytes):
             packet.ecn_ce = True
             self.stats.ecn_marked += 1
+            if _TRACE is not None and _TRACE.packets:
+                _TRACE.pkt_ecn(now_ns, self.label, packet)
         self.stats.record_occupancy(now_ns, self.bytes)
         self.bytes += packet.wire_bytes
         if self.pool is not None:

@@ -14,8 +14,10 @@ from typing import Dict, List, Optional, Tuple, Union
 
 from repro.analysis import sanitize as _sanitize
 from repro.metrics.collector import NetworkCounters
+from repro.trace import hooks as _trace_hooks
 
 _SANITIZE = _sanitize.register(__name__)
+_TRACE = _trace_hooks.register(__name__)
 from repro.net.link import Port
 from repro.net.packet import Packet
 from repro.net.queues import DropTailQueue, RankedQueue
@@ -125,10 +127,27 @@ class Switch:
     def enqueue(self, port_index: int, packet: Packet) -> None:
         """Enqueue a packet that the policy verified to fit."""
         self.counters.forwarded += 1
+        if _TRACE is not None and _TRACE.packets:
+            _TRACE.pkt_enqueue(self.engine.now, self.name, port_index, packet)
         self.ports[port_index].enqueue(packet)
+
+    def deflected(self, packet: Packet, from_port: int, to_port: int) -> None:
+        """Account (and trace) one deflection decided by the policy.
+
+        Called before the packet is enqueued at ``to_port`` (or
+        force-inserted there), so the deflection is counted even if the
+        packet is subsequently displaced or dropped at the target.
+        """
+        packet.deflections += 1
+        self.counters.deflections += 1
+        if _TRACE is not None and _TRACE.packets:
+            _TRACE.pkt_deflect(self.engine.now, self.name, from_port,
+                               to_port, packet)
 
     def drop(self, packet: Packet, reason: str) -> None:
         self.counters.drops[reason] += 1
+        if _TRACE is not None and _TRACE.packets:
+            _TRACE.pkt_drop(self.engine.now, self.name, reason, packet)
 
     def queue_bytes(self, port_index: int) -> int:
         return self.ports[port_index].queue.bytes

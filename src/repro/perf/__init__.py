@@ -82,9 +82,20 @@ def reference_config(system: str = "vertigo", incast_load: float = 0.25,
         sim_time_ns=sim_time_ns, seed=seed)
 
 
-def measure_experiment(sim_time_ns: int) -> Dict[str, object]:
-    """Run the reference experiment once; report packet/event throughput."""
+def measure_experiment(sim_time_ns: int,
+                       trace_level: Optional[str] = None
+                       ) -> Dict[str, object]:
+    """Run the reference experiment once; report packet/event throughput.
+
+    ``trace_level`` attaches a full observability config
+    (:mod:`repro.trace`) so the traced-on overhead can be measured
+    against the default traced-off run.
+    """
     config = reference_config(sim_time_ns=sim_time_ns)
+    if trace_level is not None:
+        from repro.trace.tracer import TraceConfig
+        config.trace = TraceConfig(level=trace_level,
+                                   sample_period_ns=100_000)
     start = time.perf_counter()
     result = run_experiment(config)
     wall = time.perf_counter() - start
@@ -100,6 +111,12 @@ def measure_experiment(sim_time_ns: int) -> Dict[str, object]:
         "events_per_sec": round(events / wall) if wall else None,
         "packets_forwarded": packets,
         "packets_per_sec": round(packets / wall) if wall else None,
+        # Wall seconds by run phase (build/run/finalize), from the
+        # runner's always-on PhaseProfiler.
+        "phases": result.profile,
+        **({"trace_level": trace_level,
+            "trace_records": sum(result.trace.counts().values())}
+           if result.trace is not None else {}),
     }
 
 
@@ -169,6 +186,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "reference experiment")
     parser.add_argument("--skip-sweep", action="store_true",
                         help="skip the serial-vs-parallel sweep comparison")
+    parser.add_argument("--trace-overhead", action="store_true",
+                        help="also run the reference experiment with "
+                             "flow- and packet-level tracing attached "
+                             "and report the overhead vs traced-off")
+    parser.add_argument("--check-baseline", action="store_true",
+                        help="before overwriting, compare the kernel "
+                             "throughput against the committed baseline "
+                             "in --out; exit 1 if slower by more than "
+                             "--tolerance (one-sided: faster always "
+                             "passes)")
+    parser.add_argument("--tolerance", type=float, default=0.05,
+                        help="allowed fractional kernel slowdown for "
+                             "--check-baseline (default 0.05)")
     args = parser.parse_args(argv)
 
     quick = args.quick
@@ -176,6 +206,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     exp_sim_ns = (10 if quick else 40) * MILLISECOND
     sweep_sim_ns = (10 if quick else 120) * MILLISECOND
     jobs = args.jobs if args.jobs is not None else resolve_jobs(0)
+
+    baseline: Optional[Dict[str, object]] = None
+    if args.check_baseline:
+        try:
+            with open(args.out) as handle:
+                baseline = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"--check-baseline: cannot read {args.out}: {exc}",
+                  file=sys.stderr)
+            return 2
 
     report: Dict[str, object] = {
         "schema": 1,
@@ -197,6 +237,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     print("[2/3] reference experiment ...", file=sys.stderr)
     report["experiment"] = measure_experiment(exp_sim_ns)
+
+    if args.trace_overhead:
+        print("      ... with tracing attached (flow, packet) ...",
+              file=sys.stderr)
+        baseline_wall = report["experiment"]["wall_s"]
+        overhead: Dict[str, object] = {}
+        for level in ("flow", "packet"):
+            traced = measure_experiment(exp_sim_ns, trace_level=level)
+            overhead[level] = {
+                "wall_s": traced["wall_s"],
+                "trace_records": traced["trace_records"],
+                "overhead_pct": round(
+                    100.0 * (traced["wall_s"] - baseline_wall)
+                    / baseline_wall, 1) if baseline_wall else None,
+            }
+        report["trace_overhead"] = overhead
 
     if args.skip_sweep:
         report["sweep"] = None
@@ -224,6 +280,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
               f"{sweep_report['jobs']} {sweep_report['parallel_wall_s']}s "
               f"-> {sweep_report['speedup']}x "
               f"({report['cpus']} CPU(s) visible)")
+
+    if args.trace_overhead and "trace_overhead" in report:
+        for level, numbers in report["trace_overhead"].items():
+            print(f"traced ({level}): {numbers['wall_s']}s wall "
+                  f"(+{numbers['overhead_pct']}%), "
+                  f"{numbers['trace_records']:,} records")
+
+    failures: List[str] = []
+    if baseline is not None:
+        base_kernel = baseline.get("kernel") or {}
+        for key in ("event_path_events_per_sec",
+                    "fast_path_events_per_sec"):
+            base = base_kernel.get(key)
+            new = kernel[key]
+            if not base:
+                continue
+            floor = base * (1.0 - args.tolerance)
+            verdict = "OK" if new >= floor else "FAIL"
+            print(f"baseline {key}: {base:,} -> {new:,} "
+                  f"({100.0 * (new - base) / base:+.1f}%, floor "
+                  f"{round(floor):,}) {verdict}")
+            if new < floor:
+                failures.append(key)
+        if failures:
+            print(f"--check-baseline: kernel regression beyond "
+                  f"{args.tolerance:.0%} tolerance: {failures} "
+                  f"(baseline {args.out} left untouched)",
+                  file=sys.stderr)
+            return 1
 
     with open(args.out, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)

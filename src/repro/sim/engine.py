@@ -30,8 +30,10 @@ import heapq
 from typing import Any, Callable, Optional
 
 from repro.analysis import sanitize as _sanitize
+from repro.trace import hooks as _trace_hooks
 
 _SANITIZE = _sanitize.register(__name__)
+_TRACE = _trace_hooks.register(__name__)
 
 #: Compaction triggers only above this heap size, so tiny calendars never
 #: churn; above it, compaction runs when >50% of entries are cancelled.
@@ -181,6 +183,7 @@ class Engine:
         """
         executed = 0
         self._running = True
+        span_start = self.now  # for the once-per-call trace span, not per event
         heap = self._heap
         pop = heapq.heappop
         horizon = _NO_HORIZON if until is None else until
@@ -216,6 +219,8 @@ class Engine:
         if until is not None and self.now < until:
             self.now = until
         self.events_executed += executed
+        if _TRACE is not None:
+            _TRACE.engine_span(self.now, span_start, executed)
         return executed
 
     def pending(self) -> int:

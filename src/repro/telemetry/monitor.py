@@ -92,6 +92,16 @@ class TelemetryReport:
         merged.sort(key=lambda event: event.time_ns)
         return merged
 
+    def section(self) -> Dict[str, object]:
+        """This monitor's slice of the unified ``RunReport`` schema."""
+        return {
+            "mean_utilization": self.mean_utilization(),
+            "microbursts": self.microburst_count(),
+            "persistent": self.persistent_count(),
+            "fault_events": self.fault_count(),
+            "samples": len(self.samples),
+        }
+
 
 @dataclass
 class TelemetrySummary(TelemetryReport):

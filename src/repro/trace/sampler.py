@@ -1,0 +1,95 @@
+"""Periodic time-series samplers for a traced run.
+
+The sampler schedules itself on the simulation engine every
+``TraceConfig.sample_period_ns`` and records, into the tracer's bounded
+ring buffers:
+
+- **per-port queue state** — occupancy in bytes and packets (for
+  Vertigo's ranked queues the packet count *is* the rank-queue
+  occupancy) plus link utilization over the elapsed interval, for every
+  switch port;
+- **per-flow transport state** — cwnd, smoothed RTT, in-flight
+  segments, cumulatively ACKed bytes (rate = delta/period), and the
+  per-transport congestion-control detail from
+  :meth:`~repro.transport.base.FlowSender.cc_state`, for every active
+  sender.
+
+Sampling never mutates simulation state: a traced run executes the
+exact same packet schedule as an untraced one (the sampler's own ticks
+are extra calendar entries, which is why the determinism digest covers
+traces only when tracing is enabled).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.net.builder import Network
+    from repro.sim.engine import Engine, Event
+    from repro.trace.tracer import Tracer
+
+
+class TraceSampler:
+    """Self-rescheduling port/flow sampler bound to one traced run."""
+
+    def __init__(self, engine: "Engine", network: "Network",
+                 tracer: "Tracer", period_ns: int) -> None:
+        if period_ns <= 0:
+            raise ValueError("sampling period must be positive")
+        self.engine = engine
+        self.network = network
+        self.tracer = tracer
+        self.period_ns = period_ns
+        self._last_bytes: Dict[Tuple[str, int], int] = {}
+        self._running = False
+        self._pending: Optional["Event"] = None
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        for switch in self.network.switches.values():
+            for port in switch.ports:
+                self._last_bytes[(switch.name, port.index)] = \
+                    port.bytes_sent
+        self._pending = self.engine.schedule(self.period_ns, self._tick)
+
+    def stop(self) -> None:
+        """Detach from the calendar (runner teardown)."""
+        if not self._running:
+            return
+        self._running = False
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        now = self.engine.now
+        tracer = self.tracer
+        period = self.period_ns
+        for switch in self.network.switches.values():
+            name = switch.name
+            for port in switch.ports:
+                key = (name, port.index)
+                sent = port.bytes_sent
+                delta = sent - self._last_bytes[key]
+                self._last_bytes[key] = sent
+                rate = port.link.rate_bps if port.link is not None else 0
+                busy_ns = (delta * 8 * 1_000_000_000 // rate) if rate else 0
+                queue = port.queue
+                tracer.sample_port(
+                    now, name, port.index, queue.bytes, len(queue),
+                    # Dimensionless ns/ns ratio at the reporting boundary.
+                    min(1.0, busy_ns / period))  # noqa: VR003
+        for host in self.network.hosts:
+            for flow_id, sender in host.senders.items():
+                if sender.completed or sender.failed:
+                    continue
+                tracer.sample_flow(
+                    now, host.name, flow_id, round(sender.cwnd, 6),
+                    sender.srtt_ns, len(sender._segments),
+                    sender.snd_una, sender.cc_state())
+        self._pending = self.engine.schedule(self.period_ns, self._tick)

@@ -1,0 +1,279 @@
+"""Structured trace recording: configuration, live tracer, detached data.
+
+A :class:`Tracer` receives events from the hook points wired through the
+engine, switch, link, host, ordering, metrics, and transport layers
+(see :mod:`repro.trace.hooks`) and appends them to bounded ring buffers
+as plain tuples — no per-event object allocation beyond the tuple
+itself, following the allocation discipline of the event kernel.
+
+Two trace levels exist (:class:`TraceConfig.level`):
+
+- ``"flow"`` — flow/query lifecycle, retransmissions, congestion-control
+  events, and the periodic samplers; per-packet events are suppressed.
+- ``"packet"`` — everything above plus per-packet dataplane events:
+  enqueue, dequeue, deflect, drop-with-reason, ECN mark, delivery, and
+  ordering-buffer hold/release.
+
+All recorded fields are *simulation* quantities (integer-nanosecond
+times, byte counts, identifiers), so a trace is a pure function of the
+seeded configuration: the same run produces byte-identical exports
+whether it executed serially or in a sweep worker process.  Wall-clock
+profiling lives in :mod:`repro.trace.profiler` and is deliberately kept
+out of the deterministic record stream.
+
+Every event tuple starts with ``(kind, t, ...)``; :data:`EVENT_FIELDS`
+names the remaining fields per kind and drives the JSONL export
+(:mod:`repro.trace.export`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+TRACE_SCHEMA = 1
+
+#: Valid trace levels, in increasing verbosity.
+TRACE_LEVELS = ("flow", "packet")
+
+#: Field names per event kind, *after* the leading ``(kind, t)`` pair.
+#: This is the trace schema: the JSONL exporter zips these names with
+#: the tuple tail, and the validator checks them.
+EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
+    # Packet-scope dataplane events (level = "packet").
+    "pkt.enqueue": ("node", "port", "flow", "seq", "bytes"),
+    "pkt.dequeue": ("node", "port", "flow", "seq", "bytes"),
+    "pkt.deflect": ("node", "from_port", "to_port", "flow", "seq",
+                    "deflections"),
+    "pkt.drop": ("node", "reason", "flow", "seq", "bytes"),
+    "pkt.ecn": ("node", "flow", "seq"),
+    "pkt.deliver": ("node", "flow", "seq", "bytes", "hops", "deflections"),
+    "ord.hold": ("node", "flow", "tag"),
+    "ord.release": ("node", "flow", "tag", "why"),
+    # Flow-scope events (both levels).
+    "flow.start": ("flow", "src", "dst", "size", "incast", "query"),
+    "flow.end": ("flow", "fct_ns"),
+    "flow.rtx": ("flow", "seq", "tx_count"),
+    "query.start": ("query", "client", "n_flows"),
+    "query.end": ("query", "qct_ns"),
+    "cc.fastrtx": ("flow",),
+    "cc.rto": ("flow", "rto_ns"),
+    # Engine run-loop spans (both levels; sim-time only, no wall clock).
+    "engine.span": ("t_start", "events"),
+    # Periodic samples (both levels, when a sample period is configured).
+    "sample.port": ("node", "port", "qbytes", "qpkts", "util"),
+    "sample.flow": ("node", "flow", "cwnd", "srtt_ns", "inflight",
+                    "acked", "cc"),
+}
+
+#: Kinds recorded only at ``level="packet"``.
+PACKET_KINDS = frozenset(k for k in EVENT_FIELDS
+                         if k.startswith(("pkt.", "ord.")))
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """What to record and how much memory the recording may hold.
+
+    ``max_events`` / ``max_samples`` bound the ring buffers: when a
+    buffer is full the *oldest* records are discarded (the counts of
+    everything ever emitted are kept, so exports report the loss).  The
+    discipline is deterministic — same run, same retained window.
+    """
+
+    level: str = "flow"
+    #: Periodic sampler interval; None disables the samplers.
+    sample_period_ns: Optional[int] = None
+    max_events: int = 1_000_000
+    max_samples: int = 200_000
+
+    def __post_init__(self) -> None:
+        if self.level not in TRACE_LEVELS:
+            raise ValueError(f"unknown trace level {self.level!r}; "
+                             f"choose from {TRACE_LEVELS}")
+        if self.sample_period_ns is not None and self.sample_period_ns <= 0:
+            raise ValueError("sample period must be positive")
+        if self.max_events <= 0 or self.max_samples <= 0:
+            raise ValueError("ring buffer bounds must be positive")
+
+    @property
+    def packets(self) -> bool:
+        return self.level == "packet"
+
+
+@dataclass
+class TraceData:
+    """A detached, picklable trace: what a :class:`Tracer` observed.
+
+    This is what rides on :class:`~repro.experiments.runner.RunResult`
+    (surviving worker-process transfer in parallel sweeps) and what the
+    exporters in :mod:`repro.trace.export` serialize.
+    """
+
+    config: TraceConfig
+    #: Run identity stamped by the runner: seed, system, transport,
+    #: sim_time_ns, topology.
+    meta: Dict[str, object] = field(default_factory=dict)
+    events: List[tuple] = field(default_factory=list)
+    samples: List[tuple] = field(default_factory=list)
+    emitted_events: int = 0
+    emitted_samples: int = 0
+
+    @property
+    def dropped_events(self) -> int:
+        return self.emitted_events - len(self.events)
+
+    @property
+    def dropped_samples(self) -> int:
+        return self.emitted_samples - len(self.samples)
+
+    def counts(self) -> Dict[str, int]:
+        """Number of retained records per event kind (sorted by kind)."""
+        tally: Dict[str, int] = {}
+        for record in self.events:
+            tally[record[0]] = tally.get(record[0], 0) + 1
+        for record in self.samples:
+            tally[record[0]] = tally.get(record[0], 0) + 1
+        return dict(sorted(tally.items()))
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical JSONL export of this trace."""
+        from repro.trace.export import jsonl_lines
+
+        sha = hashlib.sha256()
+        for line in jsonl_lines(self):
+            sha.update(line.encode())
+            sha.update(b"\n")
+        return sha.hexdigest()
+
+
+class Tracer:
+    """Live event sink bound to one simulation run.
+
+    Hook sites guard with ``if _TRACE is not None`` and, for
+    packet-scope events, ``_TRACE.packets``; the record methods then do
+    nothing but append a tuple to a bounded deque.
+    """
+
+    __slots__ = ("config", "packets", "_events", "_samples",
+                 "emitted_events", "emitted_samples")
+
+    def __init__(self, config: Optional[TraceConfig] = None) -> None:
+        self.config = config or TraceConfig()
+        #: Hot-path flag: are packet-scope events recorded?
+        self.packets = self.config.packets
+        self._events: Deque[tuple] = deque(maxlen=self.config.max_events)
+        self._samples: Deque[tuple] = deque(maxlen=self.config.max_samples)
+        self.emitted_events = 0
+        self.emitted_samples = 0
+
+    # -- packet-scope hooks (call sites also check ``.packets``) --------------
+
+    def pkt_enqueue(self, t: int, node: str, port: int, packet) -> None:
+        self.emitted_events += 1
+        self._events.append(("pkt.enqueue", t, node, port, packet.flow_id,
+                             packet.seq, packet.wire_bytes))
+
+    def pkt_dequeue(self, t: int, node: str, port: int, packet) -> None:
+        self.emitted_events += 1
+        self._events.append(("pkt.dequeue", t, node, port, packet.flow_id,
+                             packet.seq, packet.wire_bytes))
+
+    def pkt_deflect(self, t: int, node: str, from_port: int, to_port: int,
+                    packet) -> None:
+        self.emitted_events += 1
+        self._events.append(("pkt.deflect", t, node, from_port, to_port,
+                             packet.flow_id, packet.seq,
+                             packet.deflections))
+
+    def pkt_drop(self, t: int, node: str, reason: str, packet) -> None:
+        self.emitted_events += 1
+        self._events.append(("pkt.drop", t, node, reason, packet.flow_id,
+                             packet.seq, packet.wire_bytes))
+
+    def pkt_ecn(self, t: int, node: str, packet) -> None:
+        self.emitted_events += 1
+        self._events.append(("pkt.ecn", t, node, packet.flow_id,
+                             packet.seq))
+
+    def pkt_deliver(self, t: int, node: str, packet) -> None:
+        self.emitted_events += 1
+        self._events.append(("pkt.deliver", t, node, packet.flow_id,
+                             packet.seq, packet.wire_bytes, packet.hops,
+                             packet.deflections))
+
+    def ord_hold(self, t: int, node: str, flow: int, tag: int) -> None:
+        self.emitted_events += 1
+        self._events.append(("ord.hold", t, node, flow, tag))
+
+    def ord_release(self, t: int, node: str, flow: int, tag: int,
+                    why: str) -> None:
+        self.emitted_events += 1
+        self._events.append(("ord.release", t, node, flow, tag, why))
+
+    # -- flow-scope hooks ------------------------------------------------------
+
+    def flow_start(self, t: int, flow: int, src: int, dst: int, size: int,
+                   is_incast: bool, query: Optional[int]) -> None:
+        self.emitted_events += 1
+        self._events.append(("flow.start", t, flow, src, dst, size,
+                             is_incast, query))
+
+    def flow_end(self, t: int, flow: int, fct_ns: int) -> None:
+        self.emitted_events += 1
+        self._events.append(("flow.end", t, flow, fct_ns))
+
+    def flow_rtx(self, t: int, flow: int, seq: int, tx_count: int) -> None:
+        self.emitted_events += 1
+        self._events.append(("flow.rtx", t, flow, seq, tx_count))
+
+    def query_start(self, t: int, query: int, client: int,
+                    n_flows: int) -> None:
+        self.emitted_events += 1
+        self._events.append(("query.start", t, query, client, n_flows))
+
+    def query_end(self, t: int, query: int, qct_ns: int) -> None:
+        self.emitted_events += 1
+        self._events.append(("query.end", t, query, qct_ns))
+
+    def cc_fastrtx(self, t: int, flow: int) -> None:
+        self.emitted_events += 1
+        self._events.append(("cc.fastrtx", t, flow))
+
+    def cc_rto(self, t: int, flow: int, rto_ns: int) -> None:
+        self.emitted_events += 1
+        self._events.append(("cc.rto", t, flow, rto_ns))
+
+    def engine_span(self, t_end: int, t_start: int, events: int) -> None:
+        self.emitted_events += 1
+        self._events.append(("engine.span", t_end, t_start, events))
+
+    # -- sampler hooks ---------------------------------------------------------
+
+    def sample_port(self, t: int, node: str, port: int, qbytes: int,
+                    qpkts: int, util: float) -> None:
+        self.emitted_samples += 1
+        self._samples.append(("sample.port", t, node, port, qbytes, qpkts,
+                              util))
+
+    def sample_flow(self, t: int, node: str, flow: int, cwnd: float,
+                    srtt_ns: Optional[int], inflight: int, acked: int,
+                    cc: tuple) -> None:
+        self.emitted_samples += 1
+        self._samples.append(("sample.flow", t, node, flow, cwnd, srtt_ns,
+                              inflight, acked, cc))
+
+    # -- teardown --------------------------------------------------------------
+
+    def detach(self, meta: Optional[Dict[str, object]] = None) -> TraceData:
+        """Freeze the observations into a picklable :class:`TraceData`."""
+        return TraceData(
+            config=self.config,
+            meta=dict(meta or {}),
+            events=list(self._events),
+            samples=list(self._samples),
+            emitted_events=self.emitted_events,
+            emitted_samples=self.emitted_samples,
+        )

@@ -29,6 +29,9 @@ from repro.net.packet import (
 from repro.sim.engine import Engine
 from repro.sim.timers import Timer
 from repro.sim.units import MILLISECOND, SECOND
+from repro.trace import hooks as _trace_hooks
+
+_TRACE = _trace_hooks.register(__name__)
 
 
 @dataclass(frozen=True)
@@ -143,6 +146,14 @@ class FlowSender:
         """Minimum spacing between transmissions (0 = pure windowing)."""
         return 0
 
+    def cc_state(self) -> tuple:
+        """JSON-safe per-transport detail for the flow sampler.
+
+        Subclasses return a flat tuple of their distinguishing state
+        (e.g. DCTCP's alpha); the base sender has none.
+        """
+        return ()
+
     # -- transmission --------------------------------------------------------------
 
     def _inflight_packets(self) -> int:
@@ -188,6 +199,8 @@ class FlowSender:
             record = self.metrics.flows.get(self.flow_id)
             if record is not None:
                 record.retransmissions += 1
+            if _TRACE is not None:
+                _TRACE.flow_rtx(now, self.flow_id, seq, tx_count)
         self.host.send_packet(packet)
         if not self._rto_timer.armed:
             self._rto_timer.start(self.rto_ns)
@@ -253,6 +266,8 @@ class FlowSender:
                 and self.dupacks >= self.config.dupack_threshold):
             self.in_recovery = True
             self.recover_point = self.snd_nxt
+            if _TRACE is not None:
+                _TRACE.cc_fastrtx(self.engine.now, self.flow_id)
             self.on_fast_retransmit_cc()
             self._clamp_cwnd()
             self._retransmit_head()
@@ -283,6 +298,8 @@ class FlowSender:
             return
         self.dupacks = 0
         self.in_recovery = False
+        if _TRACE is not None:
+            _TRACE.cc_rto(self.engine.now, self.flow_id, self.rto_ns)
         self.on_rto_cc()
         self._clamp_cwnd()
         self.backoff = min(self.backoff * 2, 64)

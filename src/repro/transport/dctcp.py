@@ -58,6 +58,9 @@ class DctcpSender(RenoSender):
         self._window_marked = 0
         self._window_end = self.snd_nxt
 
+    def cc_state(self) -> tuple:
+        return ("dctcp", round(self.alpha, 6))
+
 
 def marking_threshold_bytes(mss: int,
                             packets: int = DEFAULT_MARKING_THRESHOLD_PKTS

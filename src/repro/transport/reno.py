@@ -32,3 +32,8 @@ class RenoSender(FlowSender):
     def on_rto_cc(self) -> None:
         self.ssthresh = max(self.cwnd / 2, self.MIN_SSTHRESH)
         self.cwnd = 1.0
+
+    def cc_state(self) -> tuple:
+        ssthresh = None if self.ssthresh == float("inf") \
+            else round(self.ssthresh, 6)
+        return ("reno", ssthresh)

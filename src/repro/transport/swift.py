@@ -100,3 +100,6 @@ class SwiftSender(FlowSender):
             self.cwnd = max(self.cwnd * (1 - self.config.swift_max_mdf),
                             self.min_cwnd)
         self._last_decrease_ns = self.engine.now
+
+    def cc_state(self) -> tuple:
+        return ("swift", self.target_delay_ns)

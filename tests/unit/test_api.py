@@ -1,0 +1,124 @@
+"""Public API surface: blessed exports, façade, deprecation shims."""
+
+import warnings
+
+import pytest
+
+import repro
+from repro import Experiment, ExperimentConfig
+from repro.net.topology import FatTree
+
+#: The blessed public surface.  Adding a name here is an API decision —
+#: update README/DESIGN when this changes; removing one needs a
+#: deprecation shim in ``repro.__init__._DEPRECATED`` first.
+PUBLIC_SURFACE = [
+    "Experiment",
+    "ExperimentConfig",
+    "FatTree",
+    "FaultSpec",
+    "LeafSpine",
+    "RunReport",
+    "RunResult",
+    "TraceConfig",
+    "__version__",
+    "parse_faults",
+    "run_digest",
+    "run_experiment",
+    "sweep",
+]
+
+DEPRECATED_SURFACE = [
+    "FlowInfo",
+    "MarkingComponent",
+    "MarkingDiscipline",
+    "OrderingComponent",
+    "SystemConfig",
+    "VertigoSwitchParams",
+    "WorkloadConfig",
+]
+
+
+def test_public_surface_snapshot():
+    assert sorted(repro.__all__) == PUBLIC_SURFACE
+
+
+def test_dir_lists_blessed_and_deprecated_names():
+    listed = dir(repro)
+    for name in PUBLIC_SURFACE + DEPRECATED_SURFACE:
+        assert name in listed
+
+
+def test_deprecated_imports_warn_but_work():
+    for name in DEPRECATED_SURFACE:
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            obj = getattr(repro, name)
+        assert obj is not None
+        assert any(issubclass(w.category, DeprecationWarning)
+                   for w in caught), name
+
+
+def test_unknown_attribute_raises():
+    with pytest.raises(AttributeError):
+        repro.NoSuchThing
+
+
+def test_builder_matches_hand_built_config():
+    built = (Experiment.bench()
+             .system("vertigo")
+             .transport("dctcp")
+             .workload(bg_load=0.3, incast_load=0.1)
+             .sim_ms(20)
+             .seed(3)
+             .build())
+    direct = ExperimentConfig.bench_profile(
+        system="vertigo", transport="dctcp", bg_load=0.3,
+        incast_load=0.1, sim_time_ns=20_000_000, seed=3)
+    # Topology instances compare by identity; everything else by value.
+    assert repr(built.topology) == repr(direct.topology)
+    for name in ("network", "system", "transport_name", "transport",
+                 "workload", "sim_time_ns", "seed", "faults",
+                 "telemetry_interval_ns", "sanitize", "trace"):
+        assert getattr(built, name) == getattr(direct, name), name
+
+
+def test_builder_applies_system_kwargs_and_overrides():
+    config = (Experiment.bench()
+              .system("dibs", dibs_max_deflections=5)
+              .transport("swift", init_rto_ns=70_000_000)
+              .build())
+    assert config.system.name == "dibs"
+    assert config.system.dibs_max_deflections == 5
+    assert config.transport_name == "swift"
+    assert config.transport.init_rto_ns == 70_000_000
+
+
+def test_builder_topology_faults_trace_sanitize():
+    config = (Experiment.bench()
+              .topology(FatTree(4))
+              .faults("link:leaf0-spine0:down@2ms,up@5ms")
+              .trace(level="packet", sample_us=100)
+              .sanitize()
+              .build())
+    assert isinstance(config.topology, FatTree)
+    assert [spec.kind for spec in config.faults] == ["down", "up"]
+    assert config.trace.level == "packet"
+    assert config.trace.sample_period_ns == 100_000
+    assert config.sanitize
+
+
+def test_builder_rejects_unknown_profile():
+    with pytest.raises(ValueError):
+        Experiment("warp")
+
+
+def test_paper_profile_overrides():
+    config = (Experiment.paper()
+              .system("ecmp")
+              .sim_ms(50)
+              .seed(9)
+              .build())
+    assert config.topology.n_hosts == 320
+    assert config.system.name == "ecmp"
+    assert config.sim_time_ns == 50_000_000
+    assert config.seed == 9

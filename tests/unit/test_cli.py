@@ -57,3 +57,79 @@ def test_main_runs_tiny_experiment(capsys):
     out = capsys.readouterr().out
     assert "mean_fct_s" in out
     assert "ecmp" in out
+
+
+TINY = ["--bg-load", "0.05", "--incast-load", "0.02",
+        "--incast-scale", "3", "--incast-flow-bytes", "3000",
+        "--sim-ms", "5"]
+
+
+def test_run_subcommand_equals_legacy(capsys):
+    assert main(["run", "--system", "ecmp", *TINY]) == 0
+    out = capsys.readouterr().out
+    assert "mean_fct_s" in out and "ecmp" in out
+
+
+def test_trace_flags_write_valid_jsonl_and_chrome(tmp_path, capsys):
+    jsonl = str(tmp_path / "t.jsonl")
+    chrome = str(tmp_path / "t.json")
+    code = main(["run", "--system", "vertigo", *TINY,
+                 "--trace", jsonl, "--trace-level", "packet",
+                 "--sample-us", "1000", "--trace-chrome", chrome])
+    assert code == 0
+    capsys.readouterr()
+
+    from repro.trace import validate_file
+    assert validate_file(jsonl) == []
+
+    import json
+    view = json.load(open(chrome))
+    assert view["traceEvents"]
+
+    code = main(["trace-view", jsonl, "--validate"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "1 run(s)" in out
+    assert "records by kind" in out
+
+
+def test_trace_view_flags_invalid_file(tmp_path, capsys):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text('{"ev":"bogus.kind","t":1}\n')
+    assert main(["trace-view", str(bad), "--validate"]) == 1
+
+
+def test_trace_view_chrome_conversion(tmp_path, capsys):
+    jsonl = str(tmp_path / "t.jsonl")
+    out = str(tmp_path / "converted.json")
+    assert main(["run", *TINY, "--trace", jsonl]) == 0
+    assert main(["trace-view", jsonl, "--chrome", out]) == 0
+    capsys.readouterr()
+    import json
+    assert json.load(open(out))["displayTimeUnit"] == "ms"
+
+
+def test_sweep_subcommand(capsys):
+    code = main(["sweep", "--systems", "ecmp,vertigo", *TINY])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "ecmp" in out and "vertigo" in out
+
+
+def test_sweep_rejects_unknown_system(capsys):
+    assert main(["sweep", "--systems", "warp", *TINY]) == 2
+
+
+def test_lint_subcommand_clean_tree():
+    assert main(["lint", "src/repro/trace"]) == 0
+
+
+def test_multi_seed_traces_concatenate_in_seed_order(tmp_path, capsys):
+    jsonl = str(tmp_path / "seeds.jsonl")
+    code = main(["run", "--system", "vertigo", *TINY,
+                 "--seeds", "2", "--trace", jsonl])
+    assert code == 0
+    import json
+    seeds = [json.loads(line)["seed"] for line in open(jsonl)
+             if '"trace.meta"' in line]
+    assert seeds == [1, 2]

@@ -1,0 +1,118 @@
+"""repro.trace core: hook registry, tracer, ring buffers, levels."""
+
+import pytest
+
+from repro.trace import (
+    EVENT_FIELDS,
+    PACKET_KINDS,
+    TraceConfig,
+    Tracer,
+)
+from repro.trace import hooks
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_tracer():
+    """Every test starts and ends with the hooks dormant."""
+    assert hooks.active() is None
+    yield
+    hooks.deactivate()
+
+
+def test_register_returns_current_tracer():
+    assert hooks.register("tests.fake_module") is None
+    tracer = Tracer(TraceConfig())
+    with hooks.activated(tracer):
+        assert hooks.register("tests.other_fake") is tracer
+
+
+def test_activate_rewrites_registered_modules():
+    import repro.sim.engine as engine_mod
+    import repro.net.switch as switch_mod
+
+    assert engine_mod._TRACE is None
+    assert switch_mod._TRACE is None
+    tracer = Tracer(TraceConfig())
+    with hooks.activated(tracer):
+        assert engine_mod._TRACE is tracer
+        assert switch_mod._TRACE is tracer
+    assert engine_mod._TRACE is None
+    assert switch_mod._TRACE is None
+
+
+def test_nested_activation_rejected():
+    with hooks.activated(Tracer(TraceConfig())):
+        with pytest.raises(RuntimeError):
+            hooks.activate(Tracer(TraceConfig()))
+
+
+def test_flow_level_skips_packet_events():
+    config = TraceConfig(level="flow")
+    assert not config.packets
+    assert TraceConfig(level="packet").packets
+    with pytest.raises(ValueError):
+        TraceConfig(level="verbose")
+
+
+def test_packet_kinds_cover_pkt_and_ord_namespaces():
+    for kind in EVENT_FIELDS:
+        expected = kind.startswith(("pkt.", "ord."))
+        assert (kind in PACKET_KINDS) == expected
+
+
+def test_event_ring_buffer_bounds_memory():
+    tracer = Tracer(TraceConfig(max_events=10))
+    for i in range(25):
+        tracer.flow_end(i, flow=i, fct_ns=i)
+    data = tracer.detach(meta={})
+    assert len(data.events) == 10
+    assert data.emitted_events == 25
+    assert data.dropped_events == 15
+    # Oldest records were discarded deterministically.
+    assert [record[2] for record in data.events] == list(range(15, 25))
+
+
+def test_sample_ring_buffer_bounds_memory():
+    tracer = Tracer(TraceConfig(max_samples=4))
+    for i in range(9):
+        tracer.sample_port(i, "leaf0", 0, qbytes=i, qpkts=1, util=0.5)
+    data = tracer.detach(meta={})
+    assert len(data.samples) == 4
+    assert data.dropped_samples == 5
+
+
+def test_detach_carries_meta_and_counts():
+    tracer = Tracer(TraceConfig())
+    tracer.flow_start(5, flow=1, src="h0", dst="h1", size=100,
+                      is_incast=False, query=None)
+    tracer.flow_end(90, flow=1, fct_ns=85)
+    data = tracer.detach(meta={"seed": 7})
+    assert data.meta["seed"] == 7
+    assert data.counts() == {"flow.start": 1, "flow.end": 1}
+    assert len(data.digest()) == 64
+
+
+def test_schema_field_tuples_match_recorders():
+    """Every recorded tuple must line up with its EVENT_FIELDS row."""
+    tracer = Tracer(TraceConfig(level="packet"))
+
+    class Pkt:
+        flow_id = 3
+        seq = 7
+        wire_bytes = 1500
+        deflections = 2
+        hops = 4
+
+    pkt = Pkt()
+    tracer.pkt_enqueue(1, "leaf0", 0, pkt)
+    tracer.pkt_dequeue(2, "leaf0", 0, pkt)
+    tracer.pkt_deflect(3, "leaf0", 0, 1, pkt)
+    tracer.pkt_drop(4, "leaf0", "queue_overflow", pkt)
+    tracer.pkt_ecn(5, "leaf0", pkt)
+    tracer.pkt_deliver(6, "h1", pkt)
+    tracer.ord_hold(7, "h1", flow=3, tag=9)
+    tracer.ord_release(8, "h1", flow=3, tag=9, why="drain")
+    data = tracer.detach(meta={})
+    for record in data.events:
+        kind = record[0]
+        assert len(record) == 2 + len(EVENT_FIELDS[kind]), kind
