@@ -16,8 +16,10 @@ import os
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import placeholder_row
 from repro.experiments.runner import RunResult, run_experiment
-from repro.experiments.sweeps import format_table, sweep
+from repro.experiments.sweeps import format_table
+from repro.runtime import run_supervised
 from repro.sim.units import MILLISECOND
 
 #: Simulated time per run; long enough for several init-RTO recoveries.
@@ -48,16 +50,26 @@ def run_row(config: ExperimentConfig,
 def sweep_rows(configs: Sequence[ExperimentConfig],
                extras: Optional[Sequence[Dict[str, object]]] = None,
                jobs: Optional[int] = None) -> List[Dict[str, object]]:
-    """Run a config list through the sweep executor; one row per config.
+    """Run a config list through the supervised runtime; one row per config.
 
     ``jobs`` defaults to the ``REPRO_JOBS`` environment variable (serial
     when unset), so ``REPRO_JOBS=4 pytest benchmarks/...`` fans the
     figure sweeps out to worker processes without touching the benches.
+    Crashed or stuck points are retried by the supervisor
+    (:mod:`repro.runtime`); a point that still fails renders as a
+    placeholder row (cells ``-``) with a ``status`` column instead of
+    aborting the whole figure.
     """
-    results = sweep(configs, jobs=jobs)
+    report = run_supervised(configs, jobs=jobs)
+    degraded = not report.ok
     rows = []
-    for i, result in enumerate(results):
-        row = result.report().row()
+    for i, outcome in enumerate(report.outcomes):
+        if outcome.ok:
+            row = outcome.result.report().row()
+            if degraded:
+                row["status"] = "ok"
+        else:
+            row = placeholder_row(outcome.config, outcome.status)
         if extras and extras[i]:
             row.update(extras[i])
         rows.append(row)

@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""Chaos smoke: SIGKILL a worker mid-sweep, abort, resume — digests match.
+
+The CI ``chaos-smoke`` job runs this script as the end-to-end guarantee
+of the supervised sweep runtime (:mod:`repro.runtime`):
+
+1. run the reference sweep undisturbed and record its sweep digest;
+2. run the same sweep with ``--jobs 2`` while a chaos thread SIGKILLs a
+   live worker — the supervisor must retry the victims and finish with
+   the reference digest, losing zero points;
+3. run a journaled sweep that is stopped after a few completions, then
+   resume the journal (pooled and serial) — both resumed sweeps must
+   reproduce the reference digest byte for byte.
+
+Exit status 0 when every stage reproduces the reference digest, 1 (with
+a diagnostic on stderr) otherwise.  Usage::
+
+    PYTHONPATH=src python scripts/chaos_smoke.py [--points N] [--sim-ms M]
+"""
+
+import argparse
+import os
+import signal
+import sys
+import tempfile
+import threading
+
+from repro.experiments import run_many
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.digest import sweep_digest
+from repro.runtime import SupervisorPolicy, SweepSupervisor, run_supervised
+from repro.sim.units import MILLISECOND
+
+POLICY = SupervisorPolicy(max_retries=3, backoff_base_s=0.05,
+                          backoff_cap_s=0.2)
+
+
+def make_configs(points: int, sim_ms: int):
+    return [ExperimentConfig.bench_profile(
+        system="vertigo", transport="dctcp", bg_load=0.2,
+        incast_qps=60, incast_scale=6, sim_time_ns=sim_ms * MILLISECOND,
+        seed=seed) for seed in range(1, points + 1)]
+
+
+def fail(stage: str, message: str) -> int:
+    print(f"chaos-smoke: FAIL [{stage}]: {message}", file=sys.stderr)
+    return 1
+
+
+def stage_sigkill(configs, reference: str, journal: str) -> int:
+    """SIGKILL a live worker mid-sweep; no point may be lost."""
+    supervisor = SweepSupervisor(configs, jobs=2, policy=POLICY,
+                                 journal=journal)
+    kills = []
+
+    def killer():
+        pause = threading.Event()
+        for _ in range(200):
+            if supervisor.worker_pids():
+                pause.wait(0.3)  # let runs get in flight first
+                for pid in supervisor.worker_pids()[:1]:
+                    try:
+                        os.kill(pid, signal.SIGKILL)
+                        kills.append(pid)
+                    except ProcessLookupError:
+                        pass
+                return
+            pause.wait(0.05)
+
+    thread = threading.Thread(target=killer, daemon=True)
+    thread.start()
+    report = supervisor.run()
+    thread.join(timeout=10)
+    if not kills:
+        return fail("sigkill", "chaos thread never found a worker")
+    if not report.ok:
+        return fail("sigkill", f"lost points: {report.manifest()}")
+    if report.sweep_digest() != reference:
+        return fail("sigkill", "sweep digest diverged after worker kill")
+    retried = sum(1 for outcome in report.outcomes if outcome.attempts > 1)
+    print(f"chaos-smoke: sigkill ok (killed pid {kills[0]}, "
+          f"{retried} point(s) retried, digest matches)")
+    return 0
+
+
+def stage_abort_resume(configs, reference: str, journal: str) -> int:
+    """Abort a journaled sweep after 3 points; resume must complete it."""
+    box = {}
+
+    def stop_after_three(outcome):
+        stop_after_three.count += 1
+        if stop_after_three.count >= 3:
+            box["sup"].request_stop()
+    stop_after_three.count = 0
+
+    supervisor = SweepSupervisor(configs, jobs=2, policy=POLICY,
+                                 journal=journal,
+                                 on_outcome=stop_after_three)
+    box["sup"] = supervisor
+    partial = supervisor.run()
+    manifest = partial.manifest()
+    if not partial.interrupted or manifest["ok"] >= len(configs):
+        return fail("abort", f"sweep did not abort early: {manifest}")
+
+    for jobs in (2, 1):
+        resumed = run_supervised(configs, jobs=jobs, policy=POLICY,
+                                 resume=journal)
+        if not resumed.ok:
+            return fail(f"resume-jobs{jobs}",
+                        f"lost points: {resumed.manifest()}")
+        if resumed.sweep_digest() != reference:
+            return fail(f"resume-jobs{jobs}",
+                        "resumed sweep digest diverged from reference")
+    print(f"chaos-smoke: abort+resume ok ({manifest['ok']} point(s) "
+          f"reused from journal, pooled and serial digests match)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--points", type=int, default=8,
+                        help="sweep points (default 8)")
+    parser.add_argument("--sim-ms", type=int, default=20,
+                        help="simulated ms per point (default 20)")
+    args = parser.parse_args(argv)
+    if args.points < 4:
+        parser.error("--points must be >= 4 (the abort stage stops "
+                     "after 3 completions)")
+
+    configs = make_configs(args.points, args.sim_ms)
+    reference = sweep_digest(run_many(configs, jobs=1))
+    print(f"chaos-smoke: reference digest {reference[:16]}… "
+          f"({args.points} points, {args.sim_ms} ms each)")
+
+    with tempfile.TemporaryDirectory(prefix="chaos-smoke-") as tmp:
+        status = stage_sigkill(configs, reference,
+                               os.path.join(tmp, "sigkill.jsonl"))
+        if status:
+            return status
+        status = stage_abort_resume(configs, reference,
+                                    os.path.join(tmp, "abort.jsonl"))
+        if status:
+            return status
+    print("chaos-smoke: PASS (zero points lost, digests byte-identical)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

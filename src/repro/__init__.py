@@ -46,9 +46,10 @@ from repro.experiments import (
 )
 from repro.faults import FaultSpec, parse_faults
 from repro.net import FatTree, LeafSpine
+from repro.runtime import SupervisorPolicy, SweepReport, run_supervised
 from repro.trace import TraceConfig
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Experiment",
@@ -58,6 +59,9 @@ __all__ = [
     "run_experiment",
     "run_digest",
     "sweep",
+    "run_supervised",
+    "SweepReport",
+    "SupervisorPolicy",
     "TraceConfig",
     "FaultSpec",
     "parse_faults",

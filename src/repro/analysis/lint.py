@@ -27,6 +27,11 @@ VR004     No module-lifetime mutable state in ``repro.*``: module- or
 VR005     ``.schedule(...)`` is never called with a literal negative delay,
           and no ``*_ns`` keyword (fault timestamps such as
           ``FaultSpec(at_ns=...)`` included) receives a literal negative.
+VR006     No silently-swallowed broad exceptions: a handler catching
+          everything (bare ``except:``, ``except Exception:``,
+          ``except BaseException:`` — alone or inside a tuple) must do
+          something with the error; a ``pass``-only body hides crashes
+          the supervised runtime needs to see and classify.
 ========  =======================================================================
 
 Suppression: append ``# noqa: VRxxx`` (or a bare ``# noqa``) to the
@@ -53,6 +58,7 @@ RULES: Dict[str, str] = {
     "VR003": "float value or unrounded true division on a unit quantity",
     "VR004": "module-lifetime mutable state",
     "VR005": "literal negative delay or *_ns timestamp",
+    "VR006": "broad exception handler silently swallows the error",
 }
 
 HINTS: Dict[str, str] = {
@@ -65,6 +71,8 @@ HINTS: Dict[str, str] = {
     "VR004": "move the state into an instance (or rename to CONSTANT_CASE "
              "if it is genuinely immutable after import)",
     "VR005": "delays are relative to Engine.now and must be >= 0",
+    "VR006": "narrow the exception type, or at least record/re-raise it; "
+             "swallowed errors surface later as silent data loss",
 }
 
 #: Built-in per-rule path exemptions (fnmatch patterns over posix paths).
@@ -85,6 +93,7 @@ _MUTABLE_FACTORIES = frozenset({
     "list", "dict", "set", "bytearray", "deque", "defaultdict", "Counter",
     "OrderedDict", "ChainMap", "count", "cycle",
 })
+_BROAD_EXCEPTIONS = frozenset({"Exception", "BaseException"})
 
 _NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9, ]+))?", re.I)
 
@@ -390,6 +399,27 @@ class _Checker(ast.NodeVisitor):
         self.generic_visit(node)
         self._scope_depth -= 1
 
+    # -- swallowed broad exceptions (VR006) ------------------------------------
+
+    @staticmethod
+    def _is_broad_exception(node: Optional[ast.expr]) -> bool:
+        if node is None:  # bare `except:`
+            return True
+        if isinstance(node, ast.Tuple):
+            return any(_Checker._is_broad_exception(element)
+                       for element in node.elts)
+        return _terminal_name(node) in _BROAD_EXCEPTIONS
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        swallows = all(isinstance(stmt, ast.Pass) for stmt in node.body)
+        if swallows and self._is_broad_exception(node.type):
+            caught = "bare except" if node.type is None \
+                else f"except {_terminal_name(node.type) or '...'}"
+            self._flag(node, "VR006",
+                       f"{caught} with a pass-only body silently swallows "
+                       f"the error")
+        self.generic_visit(node)
+
     # -- module-lifetime mutable state (VR004) ---------------------------------
 
     def _check_module_state(self, node: ast.AST,
@@ -500,7 +530,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.lint",
         description="Determinism & unit-discipline static checker "
-                    "(rules VR001-VR005; see module docstring).")
+                    "(rules VR001-VR006; see module docstring).")
     parser.add_argument("paths", nargs="*",
                         help="files or directories (default: [tool.repro."
                              "lint] paths, else src)")

@@ -228,3 +228,22 @@ class Experiment:
         for seed in seeds:
             configs.append(self.seed(seed).build())
         return run_many(configs, jobs=jobs)
+
+    def run_supervised(self, seeds: Sequence[int], *,
+                       jobs: Optional[int] = None,
+                       policy=None, journal: Optional[str] = None,
+                       resume: Optional[str] = None):
+        """Run the seed sweep under the crash-tolerant supervisor.
+
+        Same ordering and digests as :meth:`run_seeds`, plus worker-crash
+        recovery, per-run wall-clock deadlines, bounded deterministic
+        retry, and an optional checkpoint journal (``journal=`` starts
+        one, ``resume=`` continues one after an interruption).  Returns a
+        :class:`repro.runtime.SweepReport` whose ``results`` are in seed
+        order (``None`` for points that could not be recovered).
+        """
+        from repro.runtime import run_supervised as _run_supervised
+
+        configs = [self.seed(seed).build() for seed in seeds]
+        return _run_supervised(configs, jobs=jobs, policy=policy,
+                               journal=journal, resume=resume)

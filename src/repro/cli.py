@@ -23,10 +23,12 @@ import sys
 from typing import List, Optional
 
 from repro.experiments.config import ALL_SYSTEMS, ExperimentConfig
+from repro.experiments.parallel import resolve_jobs
 from repro.experiments.runner import run_experiment
 from repro.experiments.sweeps import format_table, sweep
 from repro.faults import parse_faults
 from repro.net.topology import FatTree
+from repro.runtime import SupervisorPolicy, run_supervised
 from repro.sim.units import MILLISECOND
 from repro.trace.tracer import TRACE_LEVELS, TraceConfig
 
@@ -167,9 +169,16 @@ def _cmd_run(argv: List[str]) -> int:
         print("--seeds must be >= 1", file=sys.stderr)
         return 2
     configs = []
-    for seed in range(args.seed, args.seed + args.seeds):
-        args.seed = seed
-        configs.append(config_from_args(args))
+    try:
+        for seed in range(args.seed, args.seed + args.seeds):
+            args.seed = seed
+            configs.append(config_from_args(args))
+        jobs = resolve_jobs(args.jobs)
+    except ValueError as exc:
+        # Malformed --fault directive or REPRO_JOBS/--jobs value: a
+        # usage error, reported in one line with the argparse exit code.
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
     print(f"running {args.system}+{args.transport} on "
           f"{configs[0].topology!r} for "
           f"{configs[0].sim_time_ns // MILLISECOND} ms simulated "
@@ -181,7 +190,7 @@ def _cmd_run(argv: List[str]) -> int:
     if len(configs) == 1:
         results = [run_experiment(configs[0])]
     else:
-        results = sweep(configs, jobs=args.jobs)
+        results = sweep(configs, jobs=jobs)
     rows = []
     for config, result in zip(configs, results):
         row = result.report().row()
@@ -201,13 +210,33 @@ def _cmd_run(argv: List[str]) -> int:
 def _cmd_sweep(argv: List[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="repro sweep",
-        description="Run a systems x seeds grid and print one row per "
-                    "point (the sweep fans out with --jobs).")
+        description="Run a systems x seeds grid under the crash-tolerant "
+                    "supervisor and print one row per point (the sweep "
+                    "fans out with --jobs; crashed or stuck points are "
+                    "retried, and --journal/--resume checkpoint the "
+                    "sweep across interruptions).")
     parser.add_argument("--systems", default="ecmp,drill,dibs,vertigo",
                         help="comma-separated systems (default: the four "
                              "compared in the paper)")
     parser.add_argument("--seeds", type=int, default=1, metavar="N",
                         help="seeds per system (seed..seed+N-1)")
+    parser.add_argument("--journal", default=None, metavar="PATH",
+                        help="append every completed point to a JSONL "
+                             "journal at PATH (start fresh)")
+    parser.add_argument("--resume", default=None, metavar="PATH",
+                        help="resume from a journal written by --journal: "
+                             "completed points are reloaded (digests "
+                             "verified), only missing ones run")
+    parser.add_argument("--run-timeout", type=float, default=None,
+                        metavar="SECONDS", dest="run_timeout",
+                        help="per-run wall-clock deadline; overdue runs "
+                             "are killed and classified 'timeout' "
+                             "(default REPRO_RUN_TIMEOUT_S, else none)")
+    parser.add_argument("--max-retries", type=int, default=None,
+                        metavar="N", dest="max_retries",
+                        help="retries per point for crashes/timeouts/"
+                             "transient errors (default REPRO_MAX_RETRIES, "
+                             "else 2)")
     _add_experiment_arguments(parser)
     args = parser.parse_args(argv)
     systems = [name.strip() for name in args.systems.split(",")
@@ -220,26 +249,49 @@ def _cmd_sweep(argv: List[str]) -> int:
     if args.seeds < 1:
         print("--seeds must be >= 1", file=sys.stderr)
         return 2
+    if args.journal and args.resume:
+        print("repro: error: pass either --journal (start fresh) or "
+              "--resume (continue), not both", file=sys.stderr)
+        return 2
     base_seed = args.seed
     configs = []
-    labels = []
-    for system in systems:
-        for seed in range(base_seed, base_seed + args.seeds):
-            args.system = system
-            args.seed = seed
-            configs.append(config_from_args(args))
-            labels.append({"system": system, "seed": seed})
+    try:
+        for system in systems:
+            for seed in range(base_seed, base_seed + args.seeds):
+                args.system = system
+                args.seed = seed
+                configs.append(config_from_args(args))
+        jobs = resolve_jobs(args.jobs)
+        policy = SupervisorPolicy.from_env(run_timeout_s=args.run_timeout,
+                                           max_retries=args.max_retries)
+    except ValueError as exc:
+        # Malformed --fault directive, REPRO_JOBS/--jobs, or a
+        # supervision knob: a usage error, one line, exit status 2.
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
     print(f"sweeping {len(systems)} system(s) x {args.seeds} seed(s) = "
           f"{len(configs)} run(s) ...", file=sys.stderr)
-    results = sweep(configs, jobs=args.jobs)
-    rows = []
-    for label, result in zip(labels, results):
-        row = result.report().row()
-        row["seed"] = label["seed"]
-        rows.append(row)
-    print(format_table(rows))
-    _export_traces(results, args)
-    return 0
+    report = run_supervised(configs, jobs=jobs, policy=policy,
+                            journal=args.journal, resume=args.resume)
+    print(format_table(report.rows()))
+    manifest = report.manifest()
+    summary = (f"sweep: {manifest['ok']}/{manifest['points']} point(s) ok"
+               + (f", {manifest['resumed']} resumed from journal"
+                  if manifest["resumed"] else "")
+               + f" in {report.wall_s:.1f}s")
+    print(summary, file=sys.stderr)
+    for failure in manifest["failures"]:
+        print(f"sweep: {failure['status']}: {failure['system']} "
+              f"seed={failure['seed']} after {failure['attempts']} "
+              f"attempt(s): {failure['error']}", file=sys.stderr)
+    if report.interrupted and report.journal_path:
+        print(f"sweep: interrupted; resume with "
+              f"--resume {report.journal_path}", file=sys.stderr)
+    _export_traces([result for result in report.results
+                    if result is not None], args)
+    if report.interrupted:
+        return 130
+    return 0 if report.ok else 1
 
 
 def _cmd_trace_view(argv: List[str]) -> int:

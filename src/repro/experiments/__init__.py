@@ -17,7 +17,7 @@ from repro.experiments.config import (
     SystemConfig,
     WorkloadConfig,
 )
-from repro.experiments.digest import run_digest
+from repro.experiments.digest import config_digest, run_digest, sweep_digest
 from repro.experiments.parallel import resolve_jobs, run_many
 from repro.experiments.report import RunReport
 from repro.experiments.runner import RunResult, run_experiment
@@ -32,6 +32,8 @@ __all__ = [
     "RunReport",
     "run_experiment",
     "run_digest",
+    "config_digest",
+    "sweep_digest",
     "run_many",
     "resolve_jobs",
     "sweep",

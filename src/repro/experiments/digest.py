@@ -12,7 +12,9 @@ from __future__ import annotations
 
 import hashlib
 import json
+from typing import Iterable
 
+from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import RunResult
 
 
@@ -47,3 +49,31 @@ def run_digest(result: RunResult) -> str:
     }
     payload = json.dumps(view, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def config_digest(config: ExperimentConfig) -> str:
+    """SHA-256 identity of one sweep point, before it runs.
+
+    Hashes the config's canonical value ``repr`` — every component
+    (topology, network parameters, system, transport, workload, faults,
+    trace settings, seed) renders as a value, so two configs describing
+    the same run digest identically across processes and interpreter
+    sessions.  The sweep journal (:mod:`repro.runtime.journal`) keys
+    completed points by this digest to match them up on ``--resume``.
+    """
+    return hashlib.sha256(repr(config).encode("utf-8")).hexdigest()
+
+
+def sweep_digest(entries: Iterable) -> str:
+    """SHA-256 over a whole sweep, order-sensitive.
+
+    ``entries`` may mix :class:`RunResult` objects (hashed via
+    :func:`run_digest`) and pre-computed digest strings.  A resumed sweep
+    is correct exactly when its sweep digest matches the uninterrupted
+    run's — the chaos-smoke CI job compares the two byte for byte.
+    """
+    parts = []
+    for entry in entries:
+        parts.append(entry if isinstance(entry, str) else run_digest(entry))
+    payload = "\n".join(parts)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

@@ -91,7 +91,17 @@ def run_many(configs: Iterable[ExperimentConfig],
     if jobs == 1 or len(configs) <= 1:
         return [run_experiment(config) for config in configs]
     workers = min(jobs, len(configs))
-    with ProcessPoolExecutor(
-            max_workers=workers, initializer=_worker_init,
-            initargs=(_sanitize.enabled(),)) as pool:
-        return list(pool.map(_run_portable, configs))
+    pool = ProcessPoolExecutor(
+        max_workers=workers, initializer=_worker_init,
+        initargs=(_sanitize.enabled(),))
+    try:
+        results = list(pool.map(_run_portable, configs))
+    except BaseException:
+        # KeyboardInterrupt (or any abort) must not orphan the workers:
+        # drop the queued tasks and return without blocking on them.  A
+        # plain `with` block would call shutdown(wait=True) here and hang
+        # until every in-flight run finished.
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise
+    pool.shutdown(wait=True)
+    return results

@@ -123,3 +123,20 @@ class RunReport:
             "trace": dict(self.trace) if self.trace else None,
             "profile": dict(self.profile),
         }
+
+
+def placeholder_row(config, status: str) -> Dict[str, object]:
+    """A summary row for a sweep point that produced no result.
+
+    Carries the identity keys a table needs (``system``, ``transport``,
+    ``load_pct``) plus a ``status`` column; every metric key from
+    :data:`ROW_KEYS` is present but ``None``, which ``format_table``
+    renders as ``-`` — degraded sweeps print aligned tables with their
+    missing points visible instead of crashing.
+    """
+    row: Dict[str, object] = {key: None for key in ROW_KEYS}
+    row["system"] = config.system.name
+    row["transport"] = config.transport_name
+    row["load_pct"] = round(100 * config.workload.total_load)
+    row["status"] = status
+    return row

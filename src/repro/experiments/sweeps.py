@@ -5,6 +5,11 @@ Sweeps run through the (optionally process-parallel) executor in
 ``REPRO_JOBS`` environment variable, to fan the points out to worker
 processes.  Results always come back in sweep order and are
 digest-identical to a serial run.
+
+For long or failure-prone sweeps, :func:`repro.runtime.run_supervised`
+wraps the same execution with crash recovery, per-run deadlines, bounded
+retry, and a checkpoint/resume journal; ``repro sweep`` on the CLI uses
+it.  These helpers stay the minimal, raise-on-failure path.
 """
 
 from __future__ import annotations
@@ -37,6 +42,9 @@ def format_table(rows: List[object],
 
     Accepts plain dict rows, :class:`~repro.experiments.report.RunReport`
     objects, or :class:`RunResult` objects (anything with a ``row()``).
+    ``None`` cells render as ``-`` — a supervised sweep's failure
+    placeholders (:func:`repro.experiments.report.placeholder_row`) show
+    up as explicit gaps in the table instead of crashing it.
     """
     if not rows:
         return "(no rows)"
@@ -45,6 +53,8 @@ def format_table(rows: List[object],
         columns = list(rows[0].keys())
 
     def fmt(value: object) -> str:
+        if value is None:
+            return "-"
         if isinstance(value, float):
             return f"{value:.4g}"
         return str(value)

@@ -21,6 +21,7 @@ fault on its congestion-event timeline.
 from repro.faults.injector import FAULT_PRIORITY, FaultInjector
 from repro.faults.spec import (
     FAULT_KINDS,
+    FaultParseError,
     FaultSpec,
     cable_key,
     parse_fault,
@@ -33,6 +34,7 @@ __all__ = [
     "FAULT_KINDS",
     "FAULT_PRIORITY",
     "FaultInjector",
+    "FaultParseError",
     "FaultSpec",
     "cable_key",
     "parse_fault",

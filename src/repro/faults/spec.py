@@ -45,6 +45,15 @@ _RATE_RE = re.compile(r"^(?P<value>\d+(?:\.\d+)?)(?P<unit>[kmg]?bps)?$",
                       re.IGNORECASE)
 
 
+class FaultParseError(ValueError):
+    """A ``--fault`` directive (or a time/rate literal) failed to parse.
+
+    Subclasses :class:`ValueError` so existing ``except ValueError``
+    callers keep working; the CLI catches it to turn a malformed
+    directive into a one-line usage error (exit status 2).
+    """
+
+
 def cable_key(a: str, b: str) -> Tuple[str, str]:
     """Canonical (sorted) endpoint pair naming a full-duplex cable."""
     return (a, b) if a <= b else (b, a)
@@ -111,8 +120,8 @@ def parse_time_ns(text: str) -> int:
     """``"50ms"`` / ``"120us"`` / ``"1500"`` → integer nanoseconds."""
     match = _TIME_RE.match(text.strip())
     if not match:
-        raise ValueError(f"cannot parse time {text!r} "
-                         f"(expected e.g. 50ms, 120us, 1500)")
+        raise FaultParseError(f"cannot parse time {text!r} "
+                              f"(expected e.g. 50ms, 120us, 1500)")
     scale = _TIME_SCALES[match.group("unit") or "ns"]
     return round(float(match.group("value")) * scale)
 
@@ -121,8 +130,8 @@ def parse_rate_bps(text: str) -> int:
     """``"40mbps"`` / ``"10gbps"`` / ``"200000"`` → integer bits/s."""
     match = _RATE_RE.match(text.strip())
     if not match:
-        raise ValueError(f"cannot parse rate {text!r} "
-                         f"(expected e.g. 40mbps, 10gbps, 200000)")
+        raise FaultParseError(f"cannot parse rate {text!r} "
+                              f"(expected e.g. 40mbps, 10gbps, 200000)")
     scale = _RATE_SCALES[(match.group("unit") or "bps").lower()]
     return round(float(match.group("value")) * scale)
 
@@ -136,44 +145,52 @@ def parse_fault(directive: str) -> Tuple[FaultSpec, ...]:
     """
     parts = directive.strip().split(":", 2)
     if len(parts) != 3 or parts[0] != "link":
-        raise ValueError(
+        raise FaultParseError(
             f"malformed fault directive {directive!r}; expected "
             f"link:<a>-<b>:<event>[,<event>...]")
     _, endpoints, events = parts
     try:
         end_a, end_b = endpoints.split("-", 1)
     except ValueError:
-        raise ValueError(f"malformed cable {endpoints!r}; expected "
-                         f"<a>-<b>, e.g. leaf0-spine1") from None
+        raise FaultParseError(f"malformed cable {endpoints!r}; expected "
+                              f"<a>-<b>, e.g. leaf0-spine1") from None
     if not end_a or not end_b:
-        raise ValueError(f"malformed cable {endpoints!r}; expected "
-                         f"<a>-<b>, e.g. leaf0-spine1")
+        raise FaultParseError(f"malformed cable {endpoints!r}; expected "
+                              f"<a>-<b>, e.g. leaf0-spine1")
     link = cable_key(end_a, end_b)
     specs = []
     for event in events.split(","):
         event = event.strip()
         if "@" not in event:
-            raise ValueError(f"fault event {event!r} has no @<time>")
+            raise FaultParseError(f"fault event {event!r} has no @<time>")
         action, _, when = event.partition("@")
         at_ns = parse_time_ns(when)
         name, _, value = action.partition("=")
         name = name.strip().lower()
         if name == "down" or name == "up":
             if value:
-                raise ValueError(f"{name} faults take no value "
-                                 f"(got {event!r})")
+                raise FaultParseError(f"{name} faults take no value "
+                                      f"(got {event!r})")
             specs.append(FaultSpec(kind=name, link=link, at_ns=at_ns))
         elif name == "rate":
             specs.append(FaultSpec(kind="rate", link=link, at_ns=at_ns,
                                    rate_bps=parse_rate_bps(value)))
         elif name == "loss":
+            try:
+                loss_rate = float(value)
+            except ValueError:
+                raise FaultParseError(
+                    f"cannot parse loss fraction {value!r} in "
+                    f"{event!r}") from None
             specs.append(FaultSpec(kind="loss", link=link, at_ns=at_ns,
-                                   loss_rate=float(value)))
+                                   loss_rate=loss_rate))
         else:
-            raise ValueError(f"unknown fault event {name!r} in "
-                             f"{directive!r}; choose from {FAULT_KINDS}")
+            raise FaultParseError(f"unknown fault event {name!r} in "
+                                  f"{directive!r}; choose from "
+                                  f"{FAULT_KINDS}")
     if not specs:
-        raise ValueError(f"fault directive {directive!r} has no events")
+        raise FaultParseError(f"fault directive {directive!r} has no "
+                              f"events")
     return tuple(specs)
 
 

@@ -1,0 +1,46 @@
+"""repro.runtime — crash-tolerant supervised sweep execution.
+
+The harness-side counterpart to :mod:`repro.faults` (PR 3 made the
+*simulated network* fault-tolerant; this package makes the *harness that
+runs it* fault-tolerant): a supervisor that survives worker crashes,
+kills stuck runs on a wall-clock deadline, retries transient failures
+with deterministic backoff, journals every completion for
+checkpoint/resume, and degrades gracefully on SIGINT/SIGTERM.
+
+Quickstart::
+
+    from repro.runtime import SupervisorPolicy, run_supervised
+
+    report = run_supervised(configs, jobs=4,
+                            policy=SupervisorPolicy(max_retries=3,
+                                                    run_timeout_s=120),
+                            journal="sweep.jsonl")
+    if not report.ok:
+        print(report.manifest())
+
+Resume after a crash or Ctrl-C::
+
+    report = run_supervised(configs, jobs=4, resume="sweep.jsonl")
+
+See DESIGN.md ("Runtime supervision") for the failure model.
+"""
+
+from repro.runtime.journal import JournalError, SweepJournal
+from repro.runtime.policy import RUN_STATUSES, SupervisorPolicy
+from repro.runtime.supervisor import (
+    RunOutcome,
+    SweepReport,
+    SweepSupervisor,
+    run_supervised,
+)
+
+__all__ = [
+    "RUN_STATUSES",
+    "JournalError",
+    "RunOutcome",
+    "SupervisorPolicy",
+    "SweepJournal",
+    "SweepReport",
+    "SweepSupervisor",
+    "run_supervised",
+]

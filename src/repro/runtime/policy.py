@@ -1,0 +1,120 @@
+"""Supervision policy: retries, backoff, and per-run deadlines.
+
+A :class:`SupervisorPolicy` is the knob set of the crash-tolerant sweep
+runtime (:mod:`repro.runtime.supervisor`): how many times a failing run
+is retried, how long a run may take before the watchdog kills it, and
+how retry backoff is spaced.
+
+Backoff is exponential with jitter, but the jitter draws from a **named,
+seeded RNG stream** (``RngRegistry(seed).stream("runtime.backoff")``) so
+the retry schedule of a supervised sweep is itself deterministic — the
+same failures produce the same waits, run after run.  Backoff never
+touches any simulation stream: the supervisor lives entirely outside
+simulated time.
+
+Environment variables (CLI flags override them):
+
+- ``REPRO_RUN_TIMEOUT_S`` — per-run wall-clock deadline in (fractional)
+  seconds; unset/empty disables deadlines.
+- ``REPRO_MAX_RETRIES`` — retry attempts after the first try (default 2).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim.rng import RngRegistry
+
+ENV_RUN_TIMEOUT = "REPRO_RUN_TIMEOUT_S"
+ENV_MAX_RETRIES = "REPRO_MAX_RETRIES"
+
+#: Terminal classifications of one sweep point under supervision.
+#: ``aborted`` marks points cancelled by an interrupt before finishing.
+RUN_STATUSES = ("ok", "timeout", "crashed", "failed", "aborted")
+
+
+def _env_float(name: str) -> Optional[float]:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be a number of seconds, "
+                         f"got {raw!r}") from None
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {raw!r}")
+    return value
+
+
+def _env_int(name: str) -> Optional[int]:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be an integer, got {raw!r}") from None
+    if value < 0:
+        raise ValueError(f"{name} cannot be negative, got {raw!r}")
+    return value
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """How the sweep supervisor treats failing or stuck runs."""
+
+    #: Retry attempts granted after the first try (0 = never retry).
+    max_retries: int = 2
+    #: Per-run wall-clock deadline in seconds; None disables the watchdog.
+    run_timeout_s: Optional[float] = None
+    #: First backoff interval; doubles per retry up to :attr:`backoff_cap_s`.
+    backoff_base_s: float = 0.25
+    backoff_cap_s: float = 8.0
+    #: Seed of the named RNG stream the backoff jitter draws from.
+    backoff_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries cannot be negative")
+        if self.run_timeout_s is not None and self.run_timeout_s <= 0:
+            raise ValueError("run_timeout_s must be positive (or None)")
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise ValueError("backoff intervals cannot be negative")
+
+    @classmethod
+    def from_env(cls, *, run_timeout_s: Optional[float] = None,
+                 max_retries: Optional[int] = None,
+                 **overrides) -> "SupervisorPolicy":
+        """Resolve a policy from explicit values, else the environment.
+
+        Explicit arguments win over ``REPRO_RUN_TIMEOUT_S`` /
+        ``REPRO_MAX_RETRIES``; malformed environment values raise
+        ``ValueError`` with a one-line message.
+        """
+        if run_timeout_s is None:
+            run_timeout_s = _env_float(ENV_RUN_TIMEOUT)
+        if max_retries is None:
+            max_retries = _env_int(ENV_MAX_RETRIES)
+        kwargs = dict(overrides)
+        if run_timeout_s is not None:
+            kwargs["run_timeout_s"] = run_timeout_s
+        if max_retries is not None:
+            kwargs["max_retries"] = max_retries
+        return cls(**kwargs)
+
+    def backoff_stream(self) -> random.Random:
+        """The named, seeded jitter stream (fresh per supervised sweep)."""
+        return RngRegistry(self.backoff_seed).stream("runtime.backoff")
+
+    def backoff_s(self, attempt: int, rng: random.Random) -> float:
+        """Wait before retry ``attempt`` (1-based): capped exponential
+        backoff, jittered to 50–100 % of the nominal interval."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        nominal = min(self.backoff_cap_s,
+                      self.backoff_base_s * (2 ** (attempt - 1)))
+        return nominal * (0.5 + 0.5 * rng.random())

@@ -1,0 +1,654 @@
+"""Crash-tolerant supervised sweep execution.
+
+:class:`SweepSupervisor` wraps the plain parallel executor
+(:mod:`repro.experiments.parallel`) with the supervision shape that
+preemption-tolerant fleets use:
+
+- **Crash detection & pool rebuild.**  A worker dying (SIGKILL, OOM,
+  segfault) breaks the whole :class:`~concurrent.futures.ProcessPoolExecutor`;
+  the supervisor catches the breakage, rebuilds the pool, and re-queues
+  every run that was in flight — completed results are never lost.
+- **Per-run wall-clock deadlines.**  With
+  :attr:`~repro.runtime.policy.SupervisorPolicy.run_timeout_s` set, a
+  watchdog thread kills the worker pool when a run overshoots its
+  deadline and classifies that run as ``timeout`` instead of letting one
+  stuck run hang the sweep.  Runs that merely shared the pool with the
+  stuck one are re-queued without a retry penalty.
+- **Bounded retry with deterministic backoff.**  Transient failures
+  (crashes, timeouts, one-off exceptions) are retried up to
+  ``max_retries`` times with exponential backoff whose jitter draws from
+  a named, seeded RNG stream; a run failing twice with the *same*
+  exception is deterministic and fails fast.
+- **Journaling.**  Every terminal outcome is appended to a
+  :class:`~repro.runtime.journal.SweepJournal` and flushed, enabling
+  ``--resume`` to skip completed points.
+- **Graceful degradation.**  SIGINT/SIGTERM stop the sweep at the next
+  safe point, flush the journal, and return a partial
+  :class:`SweepReport` whose failure manifest names every missing point.
+
+Supervision is zero-cost when idle: a serial sweep with no deadline
+configured is a plain in-process loop (no pool, no watchdog, no threads)
+around the same ``run_experiment`` calls, and the per-event simulator
+hot path is untouched.
+
+Results produced under supervision are always **portable**
+(:meth:`RunResult.portable`) — identical digests, no live network —
+whether they ran serially, in a worker, or were reloaded from a journal.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import signal
+import threading
+import time  # noqa: VR002 - supervision measures real wall time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis import sanitize as _sanitize
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.digest import config_digest, sweep_digest
+from repro.experiments.parallel import _run_portable, _worker_init, resolve_jobs
+from repro.experiments.report import placeholder_row
+from repro.experiments.runner import RunResult
+from repro.runtime.journal import SweepJournal
+from repro.runtime.policy import RUN_STATUSES, SupervisorPolicy
+from repro.trace.profiler import PhaseProfiler
+
+Runner = Callable[[ExperimentConfig], RunResult]
+
+
+def _supervised_worker_init(sanitize_on: bool) -> None:
+    """Pool initializer: sanitizer state + clean signal disposition.
+
+    Forked workers inherit the supervisor's SIGINT/SIGTERM trap
+    (installed while the pool is built), which would make every pool
+    teardown — the executor SIGTERMs surviving workers when one dies —
+    print a spurious ``KeyboardInterrupt`` traceback per worker.  Reset
+    to ignore SIGINT (the supervisor owns interrupt handling and reaps
+    workers itself) and default SIGTERM (die quietly).
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    _worker_init(sanitize_on)
+
+
+@dataclass
+class RunOutcome:
+    """Terminal classification of one sweep point under supervision."""
+
+    index: int
+    config: ExperimentConfig
+    digest: str
+    status: str  # one of RUN_STATUSES
+    attempts: int
+    wall_s: float
+    error: Optional[str] = None
+    result: Optional[RunResult] = None
+    #: True when the result was reloaded from a journal, not re-run.
+    resumed: bool = False
+
+    def __post_init__(self) -> None:
+        if self.status not in RUN_STATUSES:
+            raise ValueError(f"unknown run status {self.status!r}; "
+                             f"choose from {RUN_STATUSES}")
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+@dataclass
+class SweepReport:
+    """Everything a supervised sweep produced, losses included.
+
+    ``outcomes`` has exactly one entry per submitted config, in sweep
+    order; points that never completed (failed permanently, or were cut
+    off by an interrupt) carry ``result=None`` and a non-``ok`` status.
+    """
+
+    outcomes: List[RunOutcome]
+    interrupted: bool = False
+    wall_s: float = 0.0
+    #: Wall seconds by supervision phase: ``runtime.retry`` (backoff
+    #: waits), ``runtime.timeout`` (wall time of watchdog-killed runs).
+    profile: Dict[str, float] = field(default_factory=dict)
+    #: Journal file these outcomes were appended to, or None.
+    journal_path: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return all(outcome.ok for outcome in self.outcomes)
+
+    @property
+    def results(self) -> List[Optional[RunResult]]:
+        """Per-point results in sweep order (None for missing points)."""
+        return [outcome.result for outcome in self.outcomes]
+
+    def failures(self) -> List[RunOutcome]:
+        return [outcome for outcome in self.outcomes if not outcome.ok]
+
+    def manifest(self) -> Dict[str, object]:
+        """Structured failure manifest (CLI, benches, format_table)."""
+        counts: Dict[str, int] = {}
+        for outcome in self.outcomes:
+            counts[outcome.status] = counts.get(outcome.status, 0) + 1
+        return {
+            "points": len(self.outcomes),
+            "ok": counts.get("ok", 0),
+            "resumed": sum(1 for o in self.outcomes if o.resumed),
+            "interrupted": self.interrupted,
+            "counts": counts,
+            "failures": [{
+                "index": outcome.index,
+                "digest": outcome.digest,
+                "status": outcome.status,
+                "attempts": outcome.attempts,
+                "error": outcome.error,
+                "seed": outcome.config.seed,
+                "system": outcome.config.system.name,
+            } for outcome in self.failures()],
+        }
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Summary-table rows; missing points render explicitly.
+
+        When every point completed this matches the historical
+        ``[result.row() for result in results]`` (plus ``seed``); any
+        failure adds a ``status`` column to every row and emits
+        placeholder rows for the missing points instead of crashing the
+        table.
+        """
+        degraded = not self.ok
+        rows = []
+        for outcome in self.outcomes:
+            if outcome.ok:
+                row = outcome.result.row()
+                row["seed"] = outcome.config.seed
+                if degraded:
+                    row["status"] = "ok"
+            else:
+                row = placeholder_row(outcome.config, outcome.status)
+                row["seed"] = outcome.config.seed
+            rows.append(row)
+        return rows
+
+    def sweep_digest(self) -> str:
+        """Order-sensitive digest over the whole sweep.
+
+        Completed points contribute their run digest; missing points
+        contribute a ``!<status>`` marker (so a degraded sweep can never
+        collide with a complete one).
+        """
+        return sweep_digest([
+            outcome.result if outcome.ok else f"!{outcome.status}"
+            for outcome in self.outcomes
+        ])
+
+
+class _Watchdog(threading.Thread):
+    """Deadline enforcement for in-flight runs.
+
+    Scans the watched futures a few times a second; when one overshoots
+    its deadline the watchdog marks it timed out and SIGKILLs the worker
+    pool (the only portable way to reclaim a stuck worker), letting the
+    supervisor's crash path rebuild the pool and classify the victims.
+    """
+
+    def __init__(self, kill_workers: Callable[[], None],
+                 poll_s: float = 0.05) -> None:
+        super().__init__(name="repro-sweep-watchdog", daemon=True)
+        self._kill_workers = kill_workers
+        self._poll_s = poll_s
+        self._lock = threading.Lock()
+        self._watched: Dict[object, float] = {}  # future -> deadline
+        self._timed_out: set = set()
+        # NB: not named _stop — that would shadow Thread._stop(), which
+        # threading._after_fork() calls inside forked worker processes.
+        self._halt = threading.Event()
+        #: Number of kill sweeps performed (read by the supervisor to
+        #: tell collateral pool victims from genuine crashes).
+        self.kills = 0
+
+    def watch(self, future, deadline: float) -> None:
+        with self._lock:
+            self._watched[future] = deadline
+
+    def unwatch(self, future) -> None:
+        with self._lock:
+            self._watched.pop(future, None)
+
+    def was_timed_out(self, future) -> bool:
+        with self._lock:
+            return future in self._timed_out
+
+    def stop(self) -> None:
+        self._halt.set()
+
+    def run(self) -> None:
+        while not self._halt.wait(self._poll_s):
+            now = time.monotonic()  # noqa: VR002 - harness wall clock
+            overdue = []
+            with self._lock:
+                for future, deadline in self._watched.items():
+                    if now >= deadline and not future.done():
+                        overdue.append(future)
+                for future in overdue:
+                    self._timed_out.add(future)
+                    del self._watched[future]
+            if overdue:
+                self.kills += 1
+                self._kill_workers()
+
+
+@dataclass
+class _Flight:
+    """Bookkeeping for one submitted, not-yet-completed run."""
+
+    index: int
+    started: float
+    kills_at_submit: int
+
+
+class SweepSupervisor:
+    """Run a config list to completion despite crashes and stalls."""
+
+    def __init__(self, configs: Iterable[ExperimentConfig], *,
+                 jobs: Optional[int] = None,
+                 policy: Optional[SupervisorPolicy] = None,
+                 journal: Optional[object] = None,
+                 resume: Optional[str] = None,
+                 runner: Optional[Runner] = None,
+                 on_outcome: Optional[Callable[[RunOutcome], None]] = None,
+                 mp_context=None) -> None:
+        self.configs = list(configs)
+        self.policy = policy or SupervisorPolicy.from_env()
+        self.jobs = resolve_jobs(jobs)
+        self.runner: Runner = runner or _run_portable
+        self.on_outcome = on_outcome
+        self._mp_context = mp_context
+        if journal is not None and resume is not None:
+            raise ValueError("pass either journal= (start fresh) or "
+                             "resume= (continue an existing journal)")
+        self._journal_path = journal if isinstance(journal, str) else None
+        self._journal: Optional[SweepJournal] = \
+            journal if isinstance(journal, SweepJournal) else None
+        self._resume_path = resume
+        self._stop = threading.Event()
+        self._interrupt_signum: Optional[int] = None
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+
+    # -- public controls -------------------------------------------------------
+
+    def request_stop(self) -> None:
+        """Ask the sweep to stop at the next safe point (thread-safe)."""
+        self._stop.set()
+
+    def worker_pids(self) -> List[int]:
+        """PIDs of live pool workers (chaos tests aim their SIGKILLs here)."""
+        with self._pool_lock:
+            pool = self._pool
+            processes = getattr(pool, "_processes", None) if pool else None
+            return list(processes or ())
+
+    @property
+    def interrupted(self) -> bool:
+        return self._interrupt_signum is not None
+
+    # -- the run ---------------------------------------------------------------
+
+    def run(self) -> SweepReport:
+        started = time.monotonic()  # noqa: VR002 - harness wall clock
+        profiler = PhaseProfiler()
+        digests = [config_digest(config) for config in self.configs]
+        journal = self._open_journal(len(self.configs))
+        outcomes: Dict[int, RunOutcome] = {}
+        self._load_resumed(journal, digests, outcomes)
+        pending = [index for index in range(len(self.configs))
+                   if index not in outcomes]
+        use_pool = self.jobs > 1 or self.policy.run_timeout_s is not None
+        try:
+            with self._trap_signals():
+                try:
+                    if use_pool and pending:
+                        self._run_pool(pending, digests, outcomes, journal,
+                                       profiler)
+                    else:
+                        self._run_serial(pending, digests, outcomes, journal,
+                                         profiler)
+                except KeyboardInterrupt:
+                    self._stop.set()
+                    if self._interrupt_signum is None:
+                        self._interrupt_signum = signal.SIGINT
+            # Anything without a terminal outcome was cut off.
+            for index in range(len(self.configs)):
+                if index not in outcomes:
+                    outcome = RunOutcome(
+                        index=index, config=self.configs[index],
+                        digest=digests[index], status="aborted", attempts=0,
+                        wall_s=0.0, error="interrupted before completion")
+                    outcomes[index] = outcome
+                    if journal is not None:
+                        journal.record(digests[index], index, "aborted", 0,
+                                       0.0, error=outcome.error)
+        finally:
+            if journal is not None:
+                journal.close()
+        wall_s = time.monotonic() - started  # noqa: VR002 - harness wall clock
+        return SweepReport(
+            outcomes=[outcomes[index] for index in
+                      range(len(self.configs))],
+            interrupted=self.interrupted or self._stop.is_set(),
+            wall_s=round(wall_s, 6),
+            profile=profiler.report(),
+            journal_path=journal.path if journal is not None else None)
+
+    # -- setup helpers ---------------------------------------------------------
+
+    def _open_journal(self, n_points: int) -> Optional[SweepJournal]:
+        if self._journal is not None:
+            return self._journal
+        if self._resume_path is not None:
+            return SweepJournal.resume(self._resume_path)
+        if self._journal_path is not None:
+            return SweepJournal.create(self._journal_path, n_points)
+        return None
+
+    def _load_resumed(self, journal: Optional[SweepJournal],
+                      digests: Sequence[str],
+                      outcomes: Dict[int, RunOutcome]) -> None:
+        if journal is None or not journal.entries:
+            return
+        for index, digest in enumerate(digests):
+            result = journal.completed_result(digest)
+            if result is None:
+                continue
+            entry = journal.entries[digest]
+            outcomes[index] = RunOutcome(
+                index=index, config=self.configs[index], digest=digest,
+                status="ok", attempts=int(entry.get("attempts", 1)),
+                wall_s=float(entry.get("wall_s", 0.0)), result=result,
+                resumed=True)
+
+    def _record(self, outcome: RunOutcome,
+                outcomes: Dict[int, RunOutcome],
+                journal: Optional[SweepJournal]) -> None:
+        outcomes[outcome.index] = outcome
+        if journal is not None:
+            journal.record(outcome.digest, outcome.index, outcome.status,
+                           outcome.attempts, outcome.wall_s,
+                           error=outcome.error, result=outcome.result)
+        if self.on_outcome is not None:
+            self.on_outcome(outcome)
+
+    @contextlib.contextmanager
+    def _trap_signals(self):
+        """SIGINT/SIGTERM → stop flag + KeyboardInterrupt (main thread only).
+
+        The handler records the signal and raises ``KeyboardInterrupt``
+        so both execution paths unwind to their graceful-stop handling;
+        previous handlers are restored on exit.
+        """
+        if threading.current_thread() is not threading.main_thread():
+            yield
+            return
+        previous = {}
+
+        def handler(signum, frame):
+            self._interrupt_signum = signum
+            self._stop.set()
+            raise KeyboardInterrupt
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            previous[signum] = signal.signal(signum, handler)
+        try:
+            yield
+        finally:
+            for signum, old in previous.items():
+                signal.signal(signum, old)
+
+    # -- serial path (zero supervision overhead) -------------------------------
+
+    def _run_serial(self, pending: List[int], digests: Sequence[str],
+                    outcomes: Dict[int, RunOutcome],
+                    journal: Optional[SweepJournal],
+                    profiler: PhaseProfiler) -> None:
+        rng = self.policy.backoff_stream()
+        for index in pending:
+            if self._stop.is_set():
+                return
+            attempts = 0
+            wall_s = 0.0
+            last_signature: Optional[str] = None
+            while True:
+                attempts += 1
+                t0 = time.monotonic()  # noqa: VR002 - harness wall clock
+                try:
+                    result = self.runner(self.configs[index])
+                except KeyboardInterrupt:
+                    raise
+                except Exception as exc:
+                    wall_s += time.monotonic() - t0  # noqa: VR002
+                    signature = f"{type(exc).__name__}: {exc}"
+                    deterministic = signature == last_signature
+                    last_signature = signature
+                    if deterministic or attempts > self.policy.max_retries:
+                        error = signature + (" (failed identically twice; "
+                                             "not retrying)"
+                                             if deterministic else "")
+                        self._record(RunOutcome(
+                            index=index, config=self.configs[index],
+                            digest=digests[index], status="failed",
+                            attempts=attempts, wall_s=round(wall_s, 6),
+                            error=error), outcomes, journal)
+                        break
+                    with profiler.phase("runtime.retry"):
+                        self._stop.wait(self.policy.backoff_s(attempts, rng))
+                    if self._stop.is_set():
+                        return
+                    continue
+                wall_s += time.monotonic() - t0  # noqa: VR002
+                self._record(RunOutcome(
+                    index=index, config=self.configs[index],
+                    digest=digests[index], status="ok", attempts=attempts,
+                    wall_s=round(wall_s, 6), result=result),
+                    outcomes, journal)
+                break
+
+    # -- pool path -------------------------------------------------------------
+
+    def _ensure_pool(self, remaining: int) -> ProcessPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                workers = max(1, min(self.jobs, remaining))
+                self._pool = ProcessPoolExecutor(
+                    max_workers=workers,
+                    initializer=_supervised_worker_init,
+                    initargs=(_sanitize.enabled(),),
+                    mp_context=self._mp_context)
+            return self._pool
+
+    def _teardown_pool(self) -> None:
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def _kill_workers(self) -> None:
+        """SIGKILL every live pool worker (watchdog / interrupt path)."""
+        for pid in self.worker_pids():
+            try:
+                os.kill(pid, signal.SIGKILL)
+            except (ProcessLookupError, PermissionError):
+                continue
+
+    def _run_pool(self, pending: List[int], digests: Sequence[str],
+                  outcomes: Dict[int, RunOutcome],
+                  journal: Optional[SweepJournal],
+                  profiler: PhaseProfiler) -> None:
+        policy = self.policy
+        rng = policy.backoff_stream()
+        attempts = {index: 0 for index in pending}
+        wall_acc = {index: 0.0 for index in pending}
+        last_signature: Dict[int, str] = {}
+        not_before = {index: 0.0 for index in pending}
+        queue = deque(pending)
+        inflight: Dict[object, _Flight] = {}
+        watchdog = None
+        if policy.run_timeout_s is not None:
+            watchdog = _Watchdog(self._kill_workers)
+            watchdog.start()
+
+        def requeue(index: int, penalty: bool) -> None:
+            if penalty:
+                delay = policy.backoff_s(attempts[index], rng)
+                not_before[index] = time.monotonic() + delay  # noqa: VR002
+            queue.append(index)
+
+        def finish(index: int, status: str, *, error: Optional[str] = None,
+                   result: Optional[RunResult] = None) -> None:
+            self._record(RunOutcome(
+                index=index, config=self.configs[index],
+                digest=digests[index], status=status,
+                attempts=attempts[index],
+                wall_s=round(wall_acc[index], 6), error=error,
+                result=result), outcomes, journal)
+
+        try:
+            while (queue or inflight) and not self._stop.is_set():
+                now = time.monotonic()  # noqa: VR002 - harness wall clock
+                self._submit_ready(queue, inflight, not_before, now, watchdog)
+                if not inflight:
+                    # Everything runnable is backing off; wait the gap out.
+                    gap = min((not_before[index] for index in queue),
+                              default=now) - now
+                    if gap > 0:
+                        with profiler.phase("runtime.retry"):
+                            self._stop.wait(min(gap, 0.1))
+                    continue
+                done, _ = wait(set(inflight), timeout=0.1,
+                               return_when=FIRST_COMPLETED)
+                for future in done:
+                    flight = inflight.pop(future)
+                    if watchdog is not None:
+                        watchdog.unwatch(future)
+                    index = flight.index
+                    run_wall = time.monotonic() - flight.started  # noqa: VR002
+                    try:
+                        result = future.result()
+                    except BrokenProcessPool:
+                        self._teardown_pool()
+                        timed_out = watchdog is not None \
+                            and watchdog.was_timed_out(future)
+                        collateral = not timed_out and watchdog is not None \
+                            and watchdog.kills > flight.kills_at_submit
+                        if collateral:
+                            # Innocent bystander of a watchdog kill aimed
+                            # at another run: retry without penalty.
+                            requeue(index, penalty=False)
+                            continue
+                        wall_acc[index] += run_wall
+                        attempts[index] += 1
+                        if timed_out:
+                            profiler.add("runtime.timeout", run_wall)
+                            if attempts[index] > policy.max_retries:
+                                finish(index, "timeout", error=(
+                                    f"exceeded --run-timeout "
+                                    f"{policy.run_timeout_s:g}s "
+                                    f"({attempts[index]} attempt(s))"))
+                            else:
+                                requeue(index, penalty=True)
+                        else:
+                            if attempts[index] > policy.max_retries:
+                                finish(index, "crashed", error=(
+                                    f"worker process died "
+                                    f"({attempts[index]} attempt(s))"))
+                            else:
+                                requeue(index, penalty=True)
+                    except Exception as exc:
+                        wall_acc[index] += run_wall
+                        attempts[index] += 1
+                        signature = f"{type(exc).__name__}: {exc}"
+                        deterministic = \
+                            last_signature.get(index) == signature
+                        last_signature[index] = signature
+                        if deterministic \
+                                or attempts[index] > policy.max_retries:
+                            error = signature + (
+                                " (failed identically twice; not retrying)"
+                                if deterministic else "")
+                            finish(index, "failed", error=error)
+                        else:
+                            requeue(index, penalty=True)
+                    else:
+                        wall_acc[index] += run_wall
+                        attempts[index] += 1
+                        finish(index, "ok", result=result)
+        except KeyboardInterrupt:
+            self._stop.set()
+            raise
+        finally:
+            if watchdog is not None:
+                watchdog.stop()
+            if self._stop.is_set():
+                # Interrupt: reclaim workers instead of orphaning them.
+                self._kill_workers()
+            self._teardown_pool()
+
+    def _submit_ready(self, queue: deque, inflight: Dict[object, _Flight],
+                      not_before: Dict[int, float], now: float,
+                      watchdog: Optional[_Watchdog]) -> None:
+        """Fill free pool slots with runs whose backoff has elapsed."""
+        while queue and len(inflight) < self.jobs:
+            index = None
+            for _ in range(len(queue)):
+                candidate = queue.popleft()
+                if now >= not_before.get(candidate, 0.0):
+                    index = candidate
+                    break
+                queue.append(candidate)
+            if index is None:
+                return
+            remaining = len(queue) + len(inflight) + 1
+            pool = self._ensure_pool(remaining)
+            try:
+                future = pool.submit(self.runner, self.configs[index])
+            except (BrokenProcessPool, RuntimeError):
+                # Pool broke between completions; rebuild and retry on
+                # the next loop iteration.
+                self._teardown_pool()
+                queue.appendleft(index)
+                return
+            kills = watchdog.kills if watchdog is not None else 0
+            inflight[future] = _Flight(index=index, started=now,
+                                       kills_at_submit=kills)
+            if watchdog is not None:
+                watchdog.watch(future, now + self.policy.run_timeout_s)
+
+
+def run_supervised(configs: Iterable[ExperimentConfig], *,
+                   jobs: Optional[int] = None,
+                   policy: Optional[SupervisorPolicy] = None,
+                   journal: Optional[object] = None,
+                   resume: Optional[str] = None,
+                   runner: Optional[Runner] = None,
+                   on_outcome: Optional[Callable[[RunOutcome], None]] = None,
+                   mp_context=None) -> SweepReport:
+    """Run a sweep under the crash-tolerant supervisor.
+
+    Drop-in upgrade over :func:`repro.experiments.parallel.run_many`:
+    same ordering and digests, plus crash recovery, deadlines, bounded
+    deterministic retry, journaling (``journal=`` path starts one,
+    ``resume=`` continues one), and graceful interrupt handling.  See
+    :class:`SweepSupervisor` for the mechanics and :class:`SweepReport`
+    for the result surface.
+    """
+    supervisor = SweepSupervisor(
+        configs, jobs=jobs, policy=policy, journal=journal, resume=resume,
+        runner=runner, on_outcome=on_outcome, mp_context=mp_context)
+    return supervisor.run()

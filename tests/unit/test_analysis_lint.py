@@ -262,6 +262,76 @@ def test_vr005_nonnegative_fault_timestamp_is_fine():
     """) == []
 
 
+# -- VR006: swallowed broad exceptions -----------------------------------------
+
+
+def test_vr006_bare_except_pass():
+    assert "VR006" in codes("""
+        try:
+            f()
+        except:
+            pass
+    """)
+
+
+def test_vr006_except_exception_pass():
+    assert "VR006" in codes("""
+        try:
+            f()
+        except Exception:
+            pass
+    """)
+
+
+def test_vr006_except_base_exception_pass():
+    assert "VR006" in codes("""
+        try:
+            f()
+        except BaseException:
+            pass
+    """)
+
+
+def test_vr006_broad_exception_inside_tuple():
+    assert "VR006" in codes("""
+        try:
+            f()
+        except (ValueError, Exception):
+            pass
+    """)
+
+
+def test_vr006_handled_broad_except_is_fine():
+    # Catching Exception is fine when the handler *does* something.
+    assert codes("""
+        def f(log):
+            try:
+                g()
+            except Exception as exc:
+                log.warning("failed: %s", exc)
+                raise
+    """) == []
+
+
+def test_vr006_narrow_except_pass_is_fine():
+    # Swallowing a specific, expected exception is a deliberate idiom.
+    assert codes("""
+        try:
+            f()
+        except ProcessLookupError:
+            pass
+    """) == []
+
+
+def test_vr006_noqa_suppresses():
+    assert codes("""
+        try:
+            f()
+        except Exception:  # noqa: VR006
+            pass
+    """) == []
+
+
 # -- suppression and configuration ---------------------------------------------
 
 
@@ -313,7 +383,8 @@ def test_violation_render_mentions_location_and_hint():
 
 
 def test_rules_table_complete():
-    assert sorted(RULES) == ["VR001", "VR002", "VR003", "VR004", "VR005"]
+    assert sorted(RULES) == ["VR001", "VR002", "VR003", "VR004", "VR005",
+                             "VR006"]
 
 
 # -- the real tree stays clean -------------------------------------------------

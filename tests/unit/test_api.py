@@ -19,11 +19,14 @@ PUBLIC_SURFACE = [
     "LeafSpine",
     "RunReport",
     "RunResult",
+    "SupervisorPolicy",
+    "SweepReport",
     "TraceConfig",
     "__version__",
     "parse_faults",
     "run_digest",
     "run_experiment",
+    "run_supervised",
     "sweep",
 ]
 

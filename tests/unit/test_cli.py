@@ -120,6 +120,50 @@ def test_sweep_rejects_unknown_system(capsys):
     assert main(["sweep", "--systems", "warp", *TINY]) == 2
 
 
+def test_malformed_fault_is_one_line_usage_error(capsys):
+    """A bad --fault directive exits 2 with one stderr line, no traceback."""
+    for argv in (["run", *TINY, "--fault", "link:bogus"],
+                 ["sweep", "--systems", "ecmp", *TINY,
+                  "--fault", "link:a-b:flap@1ms"]):
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        lines = [line for line in err.splitlines() if line]
+        assert len(lines) == 1
+        assert lines[0].startswith("repro: error:")
+
+
+def test_bad_repro_jobs_is_usage_error(monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_JOBS", "many")
+    assert main(["sweep", "--systems", "ecmp", *TINY]) == 2
+    err = capsys.readouterr().err
+    assert "REPRO_JOBS" in err
+    assert main(["run", *TINY, "--seeds", "2"]) == 2
+    assert "REPRO_JOBS" in capsys.readouterr().err
+
+
+def test_bad_run_timeout_env_is_usage_error(monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_RUN_TIMEOUT_S", "soon")
+    assert main(["sweep", "--systems", "ecmp", *TINY]) == 2
+    assert "REPRO_RUN_TIMEOUT_S" in capsys.readouterr().err
+
+
+def test_sweep_rejects_journal_plus_resume(tmp_path, capsys):
+    assert main(["sweep", "--systems", "ecmp", *TINY,
+                 "--journal", str(tmp_path / "a.jsonl"),
+                 "--resume", str(tmp_path / "b.jsonl")]) == 2
+
+
+def test_sweep_journal_then_resume_skips_completed(tmp_path, capsys):
+    journal = str(tmp_path / "sweep.jsonl")
+    assert main(["sweep", "--systems", "ecmp", *TINY,
+                 "--journal", journal]) == 0
+    capsys.readouterr()
+    assert main(["sweep", "--systems", "ecmp", *TINY,
+                 "--resume", journal]) == 0
+    err = capsys.readouterr().err
+    assert "1 resumed from journal" in err
+
+
 def test_lint_subcommand_clean_tree():
     assert main(["lint", "src/repro/trace"]) == 0
 

@@ -1,11 +1,24 @@
 """Sweep executor: job-count resolution and worker initialization."""
 
+import multiprocessing
 import os
 
 import pytest
 
 from repro.analysis import sanitize
 from repro.experiments import parallel
+from repro.experiments.config import ExperimentConfig
+
+
+def _probe_worker_state():
+    """Runs inside a pool worker: report the sanitizer state it sees.
+
+    Module-level so it pickles under the spawn/forkserver start methods
+    (the tests package ships to workers via sys.path).
+    """
+    return (parallel._worker_state.get("sanitize"),
+            sanitize.enabled(),
+            os.environ.get("REPRO_SANITIZE"))
 
 
 def test_default_is_serial(monkeypatch):
@@ -37,6 +50,14 @@ def test_bad_env_rejected(monkeypatch):
         parallel.resolve_jobs(None)
 
 
+def test_env_whitespace_tolerated(monkeypatch):
+    # `REPRO_JOBS=" 4 "` (trailing space from a shell export) must parse.
+    monkeypatch.setenv("REPRO_JOBS", " 4 ")
+    assert parallel.resolve_jobs(None) == 4
+    monkeypatch.setenv("REPRO_JOBS", "   ")
+    assert parallel.resolve_jobs(None) == 1  # all-blank == unset
+
+
 def test_worker_init_installs_sanitizer_state(monkeypatch):
     monkeypatch.setenv("REPRO_SANITIZE", "0")  # registers env restore
     was_enabled = sanitize.enabled()
@@ -50,3 +71,87 @@ def test_worker_init_installs_sanitizer_state(monkeypatch):
     finally:
         sanitize.set_enabled(was_enabled)
         parallel._worker_state.clear()
+
+
+@pytest.mark.parametrize("start_method", ["spawn", "forkserver"])
+def test_worker_init_under_start_method(start_method):
+    """_worker_init must install the sanitizer whatever the start method.
+
+    spawn/forkserver workers import everything fresh (no inherited
+    interpreter state), so this is the path where a broken initializer
+    would silently drop the sanitizer.
+    """
+    if start_method not in multiprocessing.get_all_start_methods():
+        pytest.skip(f"{start_method} unavailable on this platform")
+    from concurrent.futures import ProcessPoolExecutor
+
+    context = multiprocessing.get_context(start_method)
+    with ProcessPoolExecutor(max_workers=1, mp_context=context,
+                             initializer=parallel._worker_init,
+                             initargs=(True,)) as pool:
+        state, enabled, env = pool.submit(_probe_worker_state).result(
+            timeout=120)
+    assert state is True
+    assert enabled is True
+    assert env == "1"
+
+
+def _disable_sanitizer_then_probe():
+    """Simulate a task that left the worker's sanitizer toggled off."""
+    sanitize.set_enabled(False)
+    config = ExperimentConfig.bench_profile(
+        system="vertigo", transport="dctcp", bg_load=0.1,
+        sim_time_ns=1_000_000, seed=1)
+    parallel._run_portable(config)
+    return sanitize.enabled()
+
+
+@pytest.mark.parametrize("start_method", ["spawn", "forkserver"])
+def test_run_portable_restores_sanitizer(start_method):
+    """A task that drops the sanitizer doesn't poison later pool tasks."""
+    if start_method not in multiprocessing.get_all_start_methods():
+        pytest.skip(f"{start_method} unavailable on this platform")
+    from concurrent.futures import ProcessPoolExecutor
+
+    context = multiprocessing.get_context(start_method)
+    with ProcessPoolExecutor(max_workers=1, mp_context=context,
+                             initializer=parallel._worker_init,
+                             initargs=(True,)) as pool:
+        restored = pool.submit(_disable_sanitizer_then_probe).result(
+            timeout=120)
+    assert restored is True
+
+
+class _RecordingPool:
+    """Stand-in ProcessPoolExecutor capturing shutdown() arguments."""
+
+    instances = []
+
+    def __init__(self, max_workers=None, initializer=None, initargs=()):
+        self.shutdown_calls = []
+        _RecordingPool.instances.append(self)
+
+    def map(self, fn, iterable):
+        raise KeyboardInterrupt
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        self.shutdown_calls.append(
+            {"wait": wait, "cancel_futures": cancel_futures})
+
+
+def test_run_many_interrupt_does_not_orphan_workers(monkeypatch):
+    """Ctrl-C during a parallel sweep must cancel queued work immediately.
+
+    Regression test for the worker-process leak: run_many used to enter
+    the pool via `with`, whose exit calls shutdown(wait=True) and blocks
+    on — then leaks — the in-flight workers when the map raises.
+    """
+    monkeypatch.setattr(parallel, "ProcessPoolExecutor", _RecordingPool)
+    _RecordingPool.instances.clear()
+    configs = [ExperimentConfig.bench_profile(
+        system="vertigo", transport="dctcp", bg_load=0.1,
+        sim_time_ns=1_000_000, seed=seed) for seed in (1, 2)]
+    with pytest.raises(KeyboardInterrupt):
+        parallel.run_many(configs, jobs=2)
+    (pool,) = _RecordingPool.instances
+    assert pool.shutdown_calls == [{"wait": False, "cancel_futures": True}]

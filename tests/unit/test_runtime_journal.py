@@ -1,0 +1,119 @@
+"""Sweep journal: roundtrip, verification, and crash tolerance."""
+
+import json
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.digest import config_digest, run_digest
+from repro.experiments.runner import run_experiment
+from repro.runtime import JournalError, SweepJournal
+
+
+@pytest.fixture(scope="module")
+def tiny_result():
+    config = ExperimentConfig.bench_profile(
+        system="vertigo", transport="dctcp", bg_load=0.1,
+        sim_time_ns=1_000_000, seed=1)
+    return config, run_experiment(config).portable()
+
+
+def test_roundtrip_ok_entry(tmp_path, tiny_result):
+    config, result = tiny_result
+    digest = config_digest(config)
+    path = str(tmp_path / "j.jsonl")
+    with SweepJournal.create(path, n_points=1) as journal:
+        journal.record(digest, 0, "ok", 1, 0.5, result=result)
+    with SweepJournal.resume(path) as journal:
+        loaded = journal.completed_result(digest)
+        assert loaded is not None
+        assert run_digest(loaded) == run_digest(result)
+        assert journal.entries[digest]["attempts"] == 1
+        assert journal.skipped_lines == 0
+
+
+def test_non_ok_entries_do_not_resume(tmp_path, tiny_result):
+    config, _ = tiny_result
+    digest = config_digest(config)
+    path = str(tmp_path / "j.jsonl")
+    with SweepJournal.create(path, n_points=1) as journal:
+        journal.record(digest, 0, "failed", 3, 1.0, error="boom")
+    with SweepJournal.resume(path) as journal:
+        assert journal.completed_result(digest) is None
+
+
+def test_latest_entry_wins(tmp_path, tiny_result):
+    config, result = tiny_result
+    digest = config_digest(config)
+    path = str(tmp_path / "j.jsonl")
+    with SweepJournal.create(path, n_points=1) as journal:
+        journal.record(digest, 0, "crashed", 1, 0.1, error="killed")
+        journal.record(digest, 0, "ok", 2, 0.6, result=result)
+    with SweepJournal.resume(path) as journal:
+        assert journal.completed_result(digest) is not None
+
+
+def test_torn_final_line_is_skipped_not_fatal(tmp_path, tiny_result):
+    config, result = tiny_result
+    digest = config_digest(config)
+    path = str(tmp_path / "j.jsonl")
+    with SweepJournal.create(path, n_points=2) as journal:
+        journal.record(digest, 0, "ok", 1, 0.5, result=result)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"digest": "abc", "status": "ok", "payl')  # torn write
+    with SweepJournal.resume(path) as journal:
+        assert journal.skipped_lines == 1
+        assert journal.completed_result(digest) is not None
+
+
+def test_corrupt_payload_forces_rerun(tmp_path, tiny_result):
+    config, result = tiny_result
+    digest = config_digest(config)
+    path = str(tmp_path / "j.jsonl")
+    with SweepJournal.create(path, n_points=1) as journal:
+        journal.record(digest, 0, "ok", 1, 0.5, result=result)
+    # Corrupt the recorded payload in place.
+    lines = open(path).read().splitlines()
+    entry = json.loads(lines[1])
+    entry["payload"] = "definitely-not-base64-pickle!"
+    lines[1] = json.dumps(entry)
+    open(path, "w").write("\n".join(lines) + "\n")
+    with SweepJournal.resume(path) as journal:
+        assert journal.completed_result(digest) is None
+
+
+def test_digest_mismatch_forces_rerun(tmp_path, tiny_result):
+    config, result = tiny_result
+    digest = config_digest(config)
+    path = str(tmp_path / "j.jsonl")
+    with SweepJournal.create(path, n_points=1) as journal:
+        journal.record(digest, 0, "ok", 1, 0.5, result=result)
+    lines = open(path).read().splitlines()
+    entry = json.loads(lines[1])
+    entry["run_digest"] = "0" * 64  # payload no longer matches
+    lines[1] = json.dumps(entry)
+    open(path, "w").write("\n".join(lines) + "\n")
+    with SweepJournal.resume(path) as journal:
+        assert journal.completed_result(digest) is None
+
+
+def test_resume_rejects_non_journal_files(tmp_path):
+    not_journal = tmp_path / "random.jsonl"
+    not_journal.write_text('{"ev": "trace.meta"}\n')
+    with pytest.raises(JournalError):
+        SweepJournal.resume(str(not_journal))
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    with pytest.raises(JournalError):
+        SweepJournal.resume(str(empty))
+
+
+def test_resumed_journal_appends(tmp_path, tiny_result):
+    config, result = tiny_result
+    digest = config_digest(config)
+    path = str(tmp_path / "j.jsonl")
+    with SweepJournal.create(path, n_points=2) as journal:
+        journal.record(digest, 0, "ok", 1, 0.5, result=result)
+    with SweepJournal.resume(path) as journal:
+        journal.record("other-digest", 1, "failed", 2, 0.3, error="boom")
+    assert len(open(path).read().splitlines()) == 3  # header + 2 entries

@@ -1,0 +1,89 @@
+"""Supervision policy: env resolution and deterministic backoff."""
+
+import pytest
+
+from repro.runtime import SupervisorPolicy
+from repro.runtime.policy import ENV_MAX_RETRIES, ENV_RUN_TIMEOUT
+
+
+def test_defaults():
+    policy = SupervisorPolicy()
+    assert policy.max_retries == 2
+    assert policy.run_timeout_s is None
+    assert policy.backoff_base_s == 0.25
+    assert policy.backoff_cap_s == 8.0
+
+
+def test_from_env_reads_variables(monkeypatch):
+    monkeypatch.setenv(ENV_RUN_TIMEOUT, "12.5")
+    monkeypatch.setenv(ENV_MAX_RETRIES, "5")
+    policy = SupervisorPolicy.from_env()
+    assert policy.run_timeout_s == 12.5
+    assert policy.max_retries == 5
+
+
+def test_explicit_arguments_win_over_env(monkeypatch):
+    monkeypatch.setenv(ENV_RUN_TIMEOUT, "12.5")
+    monkeypatch.setenv(ENV_MAX_RETRIES, "5")
+    policy = SupervisorPolicy.from_env(run_timeout_s=3.0, max_retries=1)
+    assert policy.run_timeout_s == 3.0
+    assert policy.max_retries == 1
+
+
+def test_env_whitespace_and_empty_tolerated(monkeypatch):
+    monkeypatch.setenv(ENV_RUN_TIMEOUT, "  2.0  ")
+    assert SupervisorPolicy.from_env().run_timeout_s == 2.0
+    monkeypatch.setenv(ENV_RUN_TIMEOUT, "   ")
+    assert SupervisorPolicy.from_env().run_timeout_s is None
+
+
+@pytest.mark.parametrize("name,value", [
+    (ENV_RUN_TIMEOUT, "soon"),
+    (ENV_RUN_TIMEOUT, "-1"),
+    (ENV_RUN_TIMEOUT, "0"),
+    (ENV_MAX_RETRIES, "often"),
+    (ENV_MAX_RETRIES, "-2"),
+])
+def test_malformed_env_raises_one_line_valueerror(monkeypatch, name, value):
+    monkeypatch.setenv(name, value)
+    with pytest.raises(ValueError) as excinfo:
+        SupervisorPolicy.from_env()
+    assert name in str(excinfo.value)
+    assert "\n" not in str(excinfo.value)
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        SupervisorPolicy(max_retries=-1)
+    with pytest.raises(ValueError):
+        SupervisorPolicy(run_timeout_s=0)
+    with pytest.raises(ValueError):
+        SupervisorPolicy(backoff_base_s=-0.1)
+
+
+def test_backoff_is_capped_exponential_with_jitter():
+    policy = SupervisorPolicy(backoff_base_s=0.25, backoff_cap_s=2.0)
+    rng = policy.backoff_stream()
+    for attempt, nominal in ((1, 0.25), (2, 0.5), (3, 1.0), (4, 2.0),
+                             (5, 2.0)):  # capped from attempt 4 on
+        wait = policy.backoff_s(attempt, rng)
+        assert 0.5 * nominal <= wait <= nominal
+
+
+def test_backoff_schedule_is_deterministic():
+    policy = SupervisorPolicy(backoff_seed=7)
+    first = [policy.backoff_s(attempt, policy.backoff_stream())
+             for attempt in (1, 2, 3)]
+    second = [policy.backoff_s(attempt, policy.backoff_stream())
+              for attempt in (1, 2, 3)]
+    assert first == second
+    # A different seed gives a different (but equally fixed) schedule.
+    other = SupervisorPolicy(backoff_seed=8)
+    assert first != [other.backoff_s(attempt, other.backoff_stream())
+                     for attempt in (1, 2, 3)]
+
+
+def test_backoff_attempt_is_one_based():
+    policy = SupervisorPolicy()
+    with pytest.raises(ValueError):
+        policy.backoff_s(0, policy.backoff_stream())
