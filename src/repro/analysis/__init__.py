@@ -3,12 +3,32 @@
 Two halves, both machine-checking invariants the rest of the codebase is
 written against but that Python itself does not enforce:
 
-- :mod:`repro.analysis.lint` — an AST-based static checker
-  (``python -m repro.analysis.lint src/``) with simulator-specific rules
-  VR001–VR005: all randomness through named
-  :class:`~repro.sim.rng.RngRegistry` streams, no wall-clock reads in
-  simulation code, integer nanosecond/byte/bit-rate unit discipline, no
-  module-lifetime mutable state, no literal negative delays.
+- **Static analysis** (``repro lint`` / ``python -m repro.analysis.lint``)
+  — a multi-pass analyzer:
+
+  - :mod:`repro.analysis.lint` — per-function AST rules VR001–VR006:
+    all randomness through named :class:`~repro.sim.rng.RngRegistry`
+    streams, no wall-clock reads in simulation code, integer
+    nanosecond/byte/bit-rate unit discipline, no module-lifetime mutable
+    state, no literal negative delays, no swallowed broad exceptions.
+  - :mod:`repro.analysis.callgraph` — project-wide symbol table and
+    call graph (entry points = forwarding-policy methods and scheduled
+    callbacks).
+  - :mod:`repro.analysis.dataflow` — interprocedural unit-of-measure
+    dataflow (VR100: seconds-valued floats flowing into ``*_ns`` slots
+    across call boundaries).
+  - :mod:`repro.analysis.rules` — whole-program rules VR110 (RNG stream
+    ownership), VR120 (digest-escaping mutable state), VR130
+    (spawn/pickle safety for pool submissions), VR140 (unguarded
+    ``_TRACE`` hook use).
+  - :mod:`repro.analysis.suppress` — ``# repro: lint-disable`` pragmas
+    (stale ones flagged as VR090) and the checked-in findings baseline.
+  - :mod:`repro.analysis.cache` — content-hash-keyed incremental cache.
+  - :mod:`repro.analysis.sarif` — SARIF 2.1.0 export and validator.
+  - :mod:`repro.analysis.autofix` — ``--fix``: ``int(...)`` coercion
+    and pragma insertion/removal.
+  - :mod:`repro.analysis.driver` — the orchestrator behind the CLI.
+
 - :mod:`repro.analysis.sanitize` — an opt-in runtime sanitizer
   (``REPRO_SANITIZE=1`` or ``ExperimentConfig.sanitize``) wiring
   event-time monotonicity, queue byte-accounting, switch conservation,
@@ -16,4 +36,15 @@ written against but that Python itself does not enforce:
   at zero cost when disabled.
 """
 
-__all__ = ["lint", "sanitize"]
+__all__ = [
+    "autofix",
+    "cache",
+    "callgraph",
+    "dataflow",
+    "driver",
+    "lint",
+    "rules",
+    "sanitize",
+    "sarif",
+    "suppress",
+]

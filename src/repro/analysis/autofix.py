@@ -1,0 +1,219 @@
+"""``repro lint --fix``: mechanical fixes for the mechanical findings.
+
+Two fix strategies, applied per file, bottom-up so earlier edits never
+shift later findings' coordinates:
+
+- **int-coercion** — a VR003/VR100 finding on an assignment to a
+  ``*_ns`` name whose right-hand side is a plain expression gets the
+  canonical repair: the value is wrapped in ``int(...)``.  The wrap is
+  exact (AST end offsets, multi-line safe) and idempotent — an already
+  ``int(...)``-wrapped value is never double-wrapped.
+- **pragma insertion** — every other fixable finding gets an inline
+  ``# repro: lint-disable VRxxx`` appended to its line (merging into an
+  existing pragma if present), turning the finding into a *tracked*
+  suppression that VR090 will flag if it ever goes stale.
+
+The driver re-lints after fixing, so ``--fix`` output always reflects
+the post-fix tree.  VR000 (unreadable/syntax) and VR090 (unused
+suppression) findings are never auto-fixed; unused pragmas are instead
+*removed* when ``--fix`` runs.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.lint import Violation
+from repro.analysis.suppress import PRAGMA_RE, RULE_UNUSED
+
+#: Findings --fix knows how to coerce with int() rather than suppress.
+COERCIBLE = frozenset({"VR003", "VR100"})
+
+#: Findings --fix must never touch.
+UNFIXABLE = frozenset({"VR000"})
+
+
+@dataclass
+class Fix:
+    """One applied source edit, for reporting."""
+
+    path: str
+    line: int
+    code: str
+    kind: str  # "int-coercion" | "pragma" | "pragma-removed"
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.code} fixed ({self.kind})"
+
+
+def _ns_assignment_span(tree: ast.Module, lineno: int
+                        ) -> Optional[Tuple[ast.expr, str]]:
+    """(value node, target name) of a ``*_ns`` assignment at ``lineno``."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Assign, ast.AnnAssign)) \
+                and node.lineno == lineno:
+            value = node.value
+            if value is None:
+                continue
+            targets = node.targets if isinstance(node, ast.Assign) \
+                else [node.target]
+            for target in targets:
+                name = target.id if isinstance(target, ast.Name) \
+                    else target.attr if isinstance(target, ast.Attribute) \
+                    else None
+                if name is not None and name.endswith("_ns"):
+                    return value, name
+    return None
+
+
+def _already_coerced(value: ast.expr) -> bool:
+    if isinstance(value, ast.Call) and isinstance(value.func, ast.Name):
+        return value.func.id in ("int", "round")
+    return False
+
+
+def _wrap_int(lines: List[str], value: ast.expr) -> bool:
+    """Wrap ``value``'s exact source span in ``int(...)``; True on edit."""
+    start_line = value.lineno - 1
+    end_line = (value.end_lineno or value.lineno) - 1
+    start_col = value.col_offset
+    end_col = value.end_col_offset
+    if end_col is None:
+        return False
+    if start_line == end_line:
+        text = lines[start_line]
+        lines[start_line] = (text[:start_col] + "int("
+                             + text[start_col:end_col] + ")"
+                             + text[end_col:])
+        return True
+    # Multi-line value: open on the first line, close on the last.
+    first = lines[start_line]
+    lines[start_line] = first[:start_col] + "int(" + first[start_col:]
+    last = lines[end_line]
+    lines[end_line] = last[:end_col] + ")" + last[end_col:]
+    return True
+
+
+def _insert_pragma(lines: List[str], lineno: int, code: str) -> bool:
+    index = lineno - 1
+    if index >= len(lines):
+        return False
+    line = lines[index]
+    match = PRAGMA_RE.search(line)
+    if match:
+        codes = [entry.strip() for entry in
+                 match.group("codes").split(",") if entry.strip()]
+        if code in codes:
+            return False
+        merged = ", ".join([*codes, code])
+        lines[index] = (line[:match.start()]
+                        + f"# repro: lint-disable {merged}"
+                        + line[match.end():])
+        return True
+    lines[index] = line.rstrip("\n").rstrip() \
+        + f"  # repro: lint-disable {code}"
+    return True
+
+
+def _remove_pragma_code(lines: List[str], lineno: int, code: str) -> bool:
+    """Drop ``code`` from the pragma on ``lineno`` (whole pragma if last)."""
+    index = lineno - 1
+    if index >= len(lines):
+        return False
+    line = lines[index]
+    match = PRAGMA_RE.search(line)
+    if not match:
+        return False
+    codes = [entry.strip() for entry in
+             match.group("codes").split(",") if entry.strip()]
+    if code not in codes:
+        return False
+    remaining = [entry for entry in codes if entry != code]
+    if remaining:
+        replacement = f"# repro: lint-disable {', '.join(remaining)}"
+        lines[index] = (line[:match.start()] + replacement
+                        + line[match.end():])
+    else:
+        lines[index] = (line[:match.start()].rstrip()
+                        + line[match.end():])
+        if not lines[index].strip():
+            lines[index] = ""
+    return True
+
+
+def apply_fixes(sources: Dict[str, str],
+                violations: Sequence[Violation]) -> Tuple[Dict[str, str],
+                                                          List[Fix]]:
+    """Fix what's fixable; returns (updated sources, applied fixes).
+
+    Only files present in ``sources`` are touched; callers write the
+    returned contents back to disk.
+    """
+    fixes: List[Fix] = []
+    updated = dict(sources)
+    by_path: Dict[str, List[Violation]] = {}
+    for violation in violations:
+        if violation.code in UNFIXABLE:
+            continue
+        by_path.setdefault(violation.path, []).append(violation)
+    for path, file_violations in by_path.items():
+        source = updated.get(path)
+        if source is None:
+            continue
+        try:
+            tree = ast.parse(source)
+        except SyntaxError:
+            continue
+        lines = source.splitlines()
+        trailing_newline = source.endswith("\n")
+        # Bottom-up: later lines first so edits never shift earlier ones.
+        ordered = sorted(file_violations,
+                         key=lambda v: (v.line, v.col), reverse=True)
+        seen: set = set()
+        for violation in ordered:
+            key = (violation.line, violation.code, violation.message)
+            if key in seen:
+                continue
+            seen.add(key)
+            if violation.code == RULE_UNUSED:
+                # The message names the stale code: remove exactly it.
+                stale = re.search(r"no ([A-Z][A-Z0-9]+) finding",
+                                  violation.message)
+                codes = [stale.group(1)] if stale \
+                    else _pragma_codes_at(lines, violation.line)
+                for code in codes:
+                    if _remove_pragma_code(lines, violation.line, code):
+                        fixes.append(Fix(path, violation.line, code,
+                                         "pragma-removed"))
+                continue
+            applied = False
+            if violation.code in COERCIBLE:
+                span = _ns_assignment_span(tree, violation.line)
+                if span is not None and not _already_coerced(span[0]):
+                    applied = _wrap_int(lines, span[0])
+                    if applied:
+                        fixes.append(Fix(path, violation.line,
+                                         violation.code, "int-coercion"))
+            if not applied:
+                if _insert_pragma(lines, violation.line, violation.code):
+                    fixes.append(Fix(path, violation.line, violation.code,
+                                     "pragma"))
+        new_source = "\n".join(lines)
+        if trailing_newline and not new_source.endswith("\n"):
+            new_source += "\n"
+        updated[path] = new_source
+    return updated, fixes
+
+
+def _pragma_codes_at(lines: List[str], lineno: int) -> List[str]:
+    index = lineno - 1
+    if index >= len(lines):
+        return []
+    match = PRAGMA_RE.search(lines[index])
+    if not match:
+        return []
+    return [entry.strip() for entry in match.group("codes").split(",")
+            if entry.strip()]

@@ -1,0 +1,135 @@
+"""Content-hash-keyed incremental cache for ``repro lint``.
+
+The analyzer's costs split cleanly in two, and the cache mirrors that:
+
+- **per-file findings** (VR001–VR006 and VR140 are functions of one
+  file's text) are keyed by that file's SHA-256 — touch one file and
+  only it re-runs;
+- **project findings** (VR100–VR130 read the whole call graph) are
+  keyed by the hash of *all* file hashes — any edit anywhere re-runs
+  the interprocedural passes, which is the only sound invalidation for
+  whole-program properties.
+
+Both tiers also key on the analyzer version stamp and the effective
+rule selection, so upgrading the analyzer or changing ``--select``
+never serves stale findings.  Cached entries hold *raw* (unsuppressed)
+findings: pragmas, noqa comments, and the baseline are reapplied on
+every run — they are cheap, and it keeps a cache hit byte-identical to
+a cold run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.lint import Violation
+
+CACHE_SCHEMA = 1
+
+#: Bump when any rule's behaviour changes; invalidates every entry.
+ANALYZER_VERSION = "vr1xx-1"
+
+
+def file_hash(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def project_hash(file_hashes: Dict[str, str]) -> str:
+    payload = "\n".join(f"{path}:{digest}"
+                        for path, digest in sorted(file_hashes.items()))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _violation_to_dict(violation: Violation) -> Dict[str, object]:
+    return {"path": violation.path, "line": violation.line,
+            "col": violation.col, "code": violation.code,
+            "message": violation.message}
+
+
+def _violation_from_dict(data: Dict[str, object]) -> Violation:
+    return Violation(str(data["path"]), int(data["line"]), int(data["col"]),
+                     str(data["code"]), str(data["message"]))
+
+
+class LintCache:
+    """JSON-backed two-tier findings cache."""
+
+    def __init__(self, path: Path, select_key: str) -> None:
+        self.path = path
+        self.select_key = select_key
+        self._files: Dict[str, Dict[str, object]] = {}
+        self._project: Optional[Dict[str, object]] = None
+        self.hits = 0
+        self.misses = 0
+        self._load()
+
+    def _load(self) -> None:
+        if not self.path.is_file():
+            return
+        try:
+            with self.path.open(encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return
+        if data.get("schema") != CACHE_SCHEMA \
+                or data.get("analyzer") != ANALYZER_VERSION \
+                or data.get("select") != self.select_key:
+            return
+        self._files = data.get("files", {})
+        self._project = data.get("project")
+
+    def save(self) -> None:
+        payload = {
+            "schema": CACHE_SCHEMA,
+            "analyzer": ANALYZER_VERSION,
+            "select": self.select_key,
+            "files": self._files,
+            "project": self._project,
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(
+            json.dumps(payload, sort_keys=True) + "\n", encoding="utf-8")
+
+    # -- per-file tier ---------------------------------------------------------
+
+    def get_file(self, path: str, digest: str
+                 ) -> Optional[List[Violation]]:
+        entry = self._files.get(path)
+        if entry is None or entry.get("hash") != digest:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return [_violation_from_dict(item)
+                for item in entry.get("findings", [])]
+
+    def put_file(self, path: str, digest: str,
+                 findings: Sequence[Violation]) -> None:
+        self._files[path] = {
+            "hash": digest,
+            "findings": [_violation_to_dict(v) for v in findings],
+        }
+
+    def prune(self, live_paths: Sequence[str]) -> None:
+        """Drop entries for files no longer being linted."""
+        keep = set(live_paths)
+        self._files = {path: entry for path, entry in self._files.items()
+                       if path in keep}
+
+    # -- project tier ----------------------------------------------------------
+
+    def get_project(self, digest: str) -> Optional[List[Violation]]:
+        entry = self._project
+        if entry is None or entry.get("hash") != digest:
+            return None
+        return [_violation_from_dict(item)
+                for item in entry.get("findings", [])]
+
+    def put_project(self, digest: str,
+                    findings: Sequence[Violation]) -> None:
+        self._project = {
+            "hash": digest,
+            "findings": [_violation_to_dict(v) for v in findings],
+        }

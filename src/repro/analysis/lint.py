@@ -35,16 +35,23 @@ VR006     No silently-swallowed broad exceptions: a handler catching
 ========  =======================================================================
 
 Suppression: append ``# noqa: VRxxx`` (or a bare ``# noqa``) to the
-offending line.  Per-rule path exemptions merge built-in defaults with the
+offending line, or the tracked form ``# repro: lint-disable VRxxx``
+(stale ones are reported as VR090 — see :mod:`repro.analysis.suppress`).
+Per-rule path exemptions merge built-in defaults with the
 ``[tool.repro.lint.exempt]`` table in ``pyproject.toml``.
+
+This module owns the *per-function* rules VR001–VR006 and the shared
+plumbing (:class:`Violation`, :class:`LintConfig`).  The whole-program
+rules VR100–VR140 (call-graph + dataflow) live in
+:mod:`repro.analysis.rules`; running ``python -m repro.analysis.lint``
+(or ``repro lint``) dispatches to the multi-pass driver in
+:mod:`repro.analysis.driver`, which runs both families.
 """
 
 from __future__ import annotations
 
-import argparse
 import ast
 import re
-import sys
 from dataclasses import dataclass, field
 from fnmatch import fnmatch
 from pathlib import Path
@@ -479,14 +486,19 @@ def _exempt(path: str, code: str, config: LintConfig) -> bool:
 def lint_source(source: str, path: str = "<string>",
                 config: Optional[LintConfig] = None) -> List[Violation]:
     """Lint one module's source text; returns surviving violations."""
+    from repro.analysis.suppress import parse_pragmas
     config = config or LintConfig()
     tree = ast.parse(source, filename=path)
     checker = _Checker(path, config.select)
     checker.visit(tree)
     suppressed = _noqa_lines(source)
+    pragmas = parse_pragmas(source)
     survivors = []
     for violation in checker.violations:
         if _exempt(path, violation.code, config):
+            continue
+        pragma = pragmas.get(violation.line)
+        if pragma is not None and violation.code in pragma.codes:
             continue
         codes = suppressed.get(violation.line, "missing")
         if codes is None or (codes != "missing" and violation.code in codes):
@@ -527,46 +539,14 @@ def lint_paths(paths: Iterable[str],
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.analysis.lint",
-        description="Determinism & unit-discipline static checker "
-                    "(rules VR001-VR006; see module docstring).")
-    parser.add_argument("paths", nargs="*",
-                        help="files or directories (default: [tool.repro."
-                             "lint] paths, else src)")
-    parser.add_argument("--config", type=Path, default=None,
-                        help="pyproject.toml to read [tool.repro.lint] from")
-    parser.add_argument("--select", default=None,
-                        help="comma-separated rule subset, e.g. VR001,VR003")
-    parser.add_argument("--list-rules", action="store_true")
-    args = parser.parse_args(argv)
+    """Entry point: dispatch to the multi-pass driver.
 
-    if args.list_rules:
-        for code in sorted(RULES):
-            print(f"{code}: {RULES[code]}")
-        return 0
-
-    config = load_config(args.config)
-    if args.select:
-        config.select = tuple(code.strip().upper()
-                              for code in args.select.split(","))
-    unknown = [code for code in config.select if code not in RULES]
-    if unknown:
-        parser.error(f"unknown rule(s): {', '.join(unknown)} "
-                     f"(see --list-rules)")
-    paths = args.paths or list(config.paths)
-    missing = [entry for entry in paths if not Path(entry).exists()]
-    if missing:
-        parser.error(f"no such file or directory: {', '.join(missing)}")
-    violations = lint_paths(paths, config)
-    for violation in sorted(violations,
-                            key=lambda v: (v.path, v.line, v.col, v.code)):
-        print(violation.render())
-    n_files = len(iter_python_files(paths))
-    status = f"{len(violations)} violation(s)" if violations else "clean"
-    print(f"repro.analysis.lint: {n_files} file(s) checked, {status}",
-          file=sys.stderr)
-    return 1 if violations else 0
+    Kept here so ``python -m repro.analysis.lint`` and existing callers
+    keep working; the argument surface (``--format``, ``--fix``,
+    ``--baseline``, ...) is defined by :func:`repro.analysis.driver.main`.
+    """
+    from repro.analysis.driver import main as _driver_main
+    return _driver_main(argv)
 
 
 if __name__ == "__main__":  # pragma: no cover

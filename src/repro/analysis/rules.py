@@ -1,0 +1,483 @@
+"""The VR110–VR140 whole-program rules.
+
+Built on :mod:`repro.analysis.callgraph` (symbol table, call edges,
+event-handler entry points) and run by :mod:`repro.analysis.driver`:
+
+========  =====================================================================
+Rule      Checks
+========  =====================================================================
+VR110     RNG stream ownership.  (a) Any call path from an event handler
+          or forwarding policy to a global ``random.*`` draw or an
+          *unseeded* ``random.Random()`` — reported at the sink with the
+          witness call chain.  (b) Every literal stream name passed to
+          ``.stream(...)`` must be declared in the module's
+          ``RNG_STREAMS`` tuple (entries ending in ``:`` declare a
+          prefix family, e.g. ``"linkloss:"``).
+VR120     Digest-escaping mutable state: module globals (``global X``
+          writes, mutations of module-level containers) and class
+          attributes (``Cls.attr = ...``, ``type(self).attr``) written
+          from event-handler-reachable code.  Such state survives the
+          run, leaks across runs in one process, and is invisible to
+          ``run_digest`` — attribute names that *are* digest inputs
+          (parsed from ``experiments/digest.py``) are exempt.
+VR130     Spawn/pickle safety: callables handed to the worker pool
+          (``.submit(...)``, a ``runner=`` keyword, ``SweepSupervisor``)
+          must survive pickling under the spawn start method — lambdas,
+          closures (nested ``def``\\ s), and bound methods of classes
+          holding unpicklable resources (locks, file handles, pools)
+          are flagged.
+VR140     Trace-hook zero-cost discipline: every ``_TRACE.<...>`` use
+          must sit behind an ``if _TRACE is not None`` guard (directly
+          or via ``and`` short-circuit), and a module that reads
+          ``_TRACE`` must register it via
+          ``_TRACE = <hooks>.register(__name__)``.
+========  =====================================================================
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.callgraph import (
+    CallGraph,
+    FunctionInfo,
+    ModuleInfo,
+    Project,
+    display_chain,
+    walk_shallow,
+)
+from repro.analysis.lint import Violation
+
+RULES_VR1XX: Dict[str, str] = {
+    "VR100": "float/seconds value crosses into integer-nanosecond time",
+    "VR110": "event-handler-reachable RNG draw outside named streams",
+    "VR120": "digest-escaping mutable state written from handler code",
+    "VR130": "unpicklable callable submitted to the worker pool",
+    "VR140": "trace hook not guarded by the zero-cost _TRACE pattern",
+}
+
+HINTS_VR1XX: Dict[str, str] = {
+    "VR100": "convert at the boundary: wrap in int()/round() where "
+             "seconds/floats become *_ns, or keep the math integral",
+    "VR110": "draw from a declared RngRegistry stream (add the name to "
+             "the module's RNG_STREAMS tuple) wired in at build time",
+    "VR120": "keep run state on instances created per run, or add the "
+             "field to the digest inputs in experiments/digest.py",
+    "VR130": "submit a module-level function; workers under spawn "
+             "re-import it by qualified name",
+    "VR140": "guard with `if _TRACE is not None:` (module-global load + "
+             "identity test) so traced-off runs pay nothing",
+}
+
+_RANDOM_DRAWS = frozenset({
+    "random", "randint", "randrange", "uniform", "choice", "choices",
+    "sample", "shuffle", "gauss", "expovariate", "betavariate",
+    "normalvariate", "lognormvariate", "paretovariate", "weibullvariate",
+    "triangular", "vonmisesvariate", "gammavariate", "getrandbits",
+    "seed",
+})
+
+_SUBMIT_METHODS = frozenset({"submit"})
+_RUNNER_KEYWORDS = frozenset({"runner"})
+_MUTATING_METHODS = frozenset({
+    "append", "extend", "insert", "add", "update", "setdefault", "pop",
+    "popleft", "appendleft", "clear", "remove", "discard",
+})
+
+
+# -- VR110: RNG stream ownership -----------------------------------------------
+
+
+def check_vr110(project: Project, graph: CallGraph) -> List[Violation]:
+    violations: List[Violation] = []
+    parents = graph.reachable()
+    # (a) handler-reachable global draws / unseeded Random().
+    for qualname in parents:
+        func = project.functions.get(qualname)
+        if func is None:
+            continue
+        for node in walk_shallow(func.node):
+            if not isinstance(node, ast.Call):
+                continue
+            sink = _random_sink(node)
+            if sink is None:
+                continue
+            chain = graph.witness_path(parents, qualname)
+            violations.append(Violation(
+                func.path, node.lineno, node.col_offset + 1, "VR110",
+                f"{sink} is reachable from an event handler "
+                f"(path: {display_chain(project, chain)})"))
+    # (b) undeclared literal stream names.
+    for module in project.modules.values():
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute)
+                    and func.attr == "stream" and node.args):
+                continue
+            name = _static_stream_name(node.args[0])
+            if name is None:
+                continue
+            if not _stream_declared(module, name):
+                declared = ", ".join(module.rng_streams or ()) or "(none)"
+                violations.append(Violation(
+                    module.path, node.lineno, node.col_offset + 1,
+                    "VR110",
+                    f"stream '{name}' is not declared in this module's "
+                    f"RNG_STREAMS tuple (declared: {declared})"))
+    return violations
+
+
+def _random_sink(node: ast.Call) -> Optional[str]:
+    func = node.func
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name) \
+            and func.value.id == "random":
+        if func.attr == "Random":
+            return None if node.args or node.keywords \
+                else "unseeded random.Random()"
+        if func.attr in _RANDOM_DRAWS:
+            return f"global random.{func.attr}()"
+        return None
+    if isinstance(func, ast.Name) and func.id == "Random" \
+            and not node.args and not node.keywords:
+        return "unseeded Random()"
+    return None
+
+
+def _static_stream_name(node: ast.expr) -> Optional[str]:
+    """Literal stream name, or the static prefix of an f-string."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.JoinedStr) and node.values:
+        head = node.values[0]
+        if isinstance(head, ast.Constant) and isinstance(head.value, str):
+            return head.value
+    return None
+
+
+def _stream_declared(module: ModuleInfo, name: str) -> bool:
+    declared = module.rng_streams
+    if declared is None:
+        return False
+    for entry in declared:
+        if entry == name:
+            return True
+        if entry.endswith(":") and name.startswith(entry):
+            return True
+    return False
+
+
+# -- VR120: digest-escaping mutable state --------------------------------------
+
+
+def digest_input_names(project: Project) -> Set[str]:
+    """Attribute/key names the run digest covers (experiments/digest.py)."""
+    names: Set[str] = set()
+    for path, module in project.modules.items():
+        if not path.replace("\\", "/").endswith("experiments/digest.py"):
+            continue
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Attribute):
+                names.add(node.attr)
+            elif isinstance(node, ast.Constant) \
+                    and isinstance(node.value, str):
+                names.add(node.value)
+    return names
+
+
+def check_vr120(project: Project, graph: CallGraph) -> List[Violation]:
+    violations: List[Violation] = []
+    parents = graph.reachable()
+    digest_names = digest_input_names(project)
+    for qualname in parents:
+        func = project.functions.get(qualname)
+        if func is None:
+            continue
+        module = project.modules.get(func.path)
+        globals_declared = _global_names(func.node)
+        for node in walk_shallow(func.node):
+            hit = _escaping_write(node, func, module, globals_declared)
+            if hit is None:
+                continue
+            name, kind = hit
+            if name in digest_names:
+                continue
+            chain = graph.witness_path(parents, qualname)
+            violations.append(Violation(
+                func.path, node.lineno, node.col_offset + 1, "VR120",
+                f"{kind} '{name}' written from event-handler-reachable "
+                f"code escapes the run digest "
+                f"(path: {display_chain(project, chain)})"))
+    return violations
+
+
+def _global_names(node: ast.AST) -> Set[str]:
+    names: Set[str] = set()
+    for child in walk_shallow(node):
+        if isinstance(child, ast.Global):
+            names.update(child.names)
+    return names
+
+
+def _escaping_write(node: ast.AST, func: FunctionInfo,
+                    module: Optional[ModuleInfo],
+                    globals_declared: Set[str]
+                    ) -> Optional[Tuple[str, str]]:
+    """(name, kind) when ``node`` writes module/class-lifetime state."""
+    module_names = module.module_bindings if module else set()
+    if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+        targets = node.targets if isinstance(node, ast.Assign) \
+            else [node.target]
+        for target in targets:
+            # global X; X = ...
+            if isinstance(target, ast.Name) \
+                    and target.id in globals_declared:
+                return target.id, "module global"
+            # ClassName.attr = ... / type(self).attr = ...
+            if isinstance(target, ast.Attribute):
+                owner = _class_owner(target.value, func)
+                if owner is not None:
+                    return f"{owner}.{target.attr}", "class attribute"
+            # MODULE_LEVEL[k] = ...
+            if isinstance(target, ast.Subscript) \
+                    and isinstance(target.value, ast.Name) \
+                    and target.value.id in module_names:
+                return target.value.id, "module-level container"
+    if isinstance(node, ast.Call):
+        func_expr = node.func
+        if isinstance(func_expr, ast.Attribute) \
+                and func_expr.attr in _MUTATING_METHODS \
+                and isinstance(func_expr.value, ast.Name) \
+                and func_expr.value.id in module_names:
+            return func_expr.value.id, "module-level container"
+    return None
+
+
+def _class_owner(value: ast.expr, func: FunctionInfo) -> Optional[str]:
+    """Class name when ``value`` denotes a class object, else None."""
+    if isinstance(value, ast.Name) and func.cls is not None \
+            and value.id == func.cls:
+        return value.id
+    if isinstance(value, ast.Call) and isinstance(value.func, ast.Name) \
+            and value.func.id == "type" and len(value.args) == 1 \
+            and isinstance(value.args[0], ast.Name) \
+            and value.args[0].id == "self":
+        return func.cls or "type(self)"
+    if isinstance(value, ast.Attribute) and value.attr == "__class__" \
+            and isinstance(value.value, ast.Name) \
+            and value.value.id == "self":
+        return func.cls or "self.__class__"
+    return None
+
+
+# -- VR130: spawn/pickle safety ------------------------------------------------
+
+
+def check_vr130(project: Project, graph: CallGraph) -> List[Violation]:
+    violations: List[Violation] = []
+    for qualname, func in project.functions.items():
+        for node in walk_shallow(func.node):
+            if not isinstance(node, ast.Call):
+                continue
+            for callable_expr, context in _pool_callables(node):
+                problem = _pickle_problem(callable_expr, func, project)
+                if problem is not None:
+                    violations.append(Violation(
+                        func.path, callable_expr.lineno,
+                        callable_expr.col_offset + 1, "VR130",
+                        f"{problem} {context}; the spawn start method "
+                        f"re-imports worker callables by qualified name"))
+    # Module-level submit sites (rare, but cheap to cover).
+    for module in project.modules.values():
+        for stmt in module.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue
+            for node in ast.walk(stmt):
+                if not isinstance(node, ast.Call):
+                    continue
+                for callable_expr, context in _pool_callables(node):
+                    if isinstance(callable_expr, ast.Lambda):
+                        violations.append(Violation(
+                            module.path, callable_expr.lineno,
+                            callable_expr.col_offset + 1, "VR130",
+                            f"lambda {context}; the spawn start method "
+                            f"re-imports worker callables by qualified "
+                            f"name"))
+    return violations
+
+
+def _pool_callables(node: ast.Call) -> List[Tuple[ast.expr, str]]:
+    """(callable expression, description) pairs submitted to a pool."""
+    found: List[Tuple[ast.expr, str]] = []
+    func = node.func
+    callee_name = func.attr if isinstance(func, ast.Attribute) \
+        else func.id if isinstance(func, ast.Name) else None
+    if isinstance(func, ast.Attribute) and func.attr in _SUBMIT_METHODS \
+            and node.args:
+        found.append((node.args[0], "passed to .submit()"))
+    for keyword in node.keywords:
+        if keyword.arg in _RUNNER_KEYWORDS:
+            target = callee_name or "the pool"
+            found.append((keyword.value, f"passed as runner= to {target}"))
+    return found
+
+
+def _pickle_problem(expr: ast.expr, func: FunctionInfo,
+                    project: Project) -> Optional[str]:
+    if isinstance(expr, ast.Lambda):
+        return "lambda"
+    if isinstance(expr, ast.Name):
+        nested = f"{func.qualname}.{expr.id}"
+        if nested in project.functions:
+            return f"nested function '{expr.id}' (closure over live state)"
+        return None
+    if isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name):
+        receiver = expr.value.id
+        cls_name: Optional[str] = None
+        if receiver == "self" and func.cls is not None:
+            cls_name = func.cls
+        else:
+            cls_name = _local_class_of(receiver, func)
+        if cls_name is not None \
+                and project.resolve_method(cls_name, expr.attr):
+            # Only actual methods are bound-method pickles; an instance
+            # attribute holding a module-level function pickles fine.
+            for cls_info in project.classes.get(cls_name, ()):
+                if cls_info.unpicklable:
+                    return (f"bound method of '{cls_name}', which holds "
+                            f"unpicklable state (lock/file/pool in "
+                            f"__init__)")
+    return None
+
+
+def _local_class_of(name: str, func: FunctionInfo) -> Optional[str]:
+    """Class name when a local ``name = ClassName(...)`` binding exists."""
+    for node in walk_shallow(func.node):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            ctor = node.value.func
+            if isinstance(ctor, ast.Name):
+                for target in node.targets:
+                    if isinstance(target, ast.Name) and target.id == name:
+                        return ctor.id
+    return None
+
+
+# -- VR140: trace-hook discipline ----------------------------------------------
+
+
+def check_vr140(tree: ast.Module, path: str) -> List[Violation]:
+    """Per-module check: every ``_TRACE`` use behind the identity guard."""
+    violations: List[Violation] = []
+    registered = _trace_registered(tree)
+    checker = _TraceGuardChecker(path, registered)
+    checker.visit(tree)
+    return checker.violations
+
+
+def _trace_registered(tree: ast.Module) -> bool:
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == "_TRACE" \
+                        and isinstance(stmt.value, ast.Call):
+                    func = stmt.value.func
+                    attr = func.attr if isinstance(func, ast.Attribute) \
+                        else func.id if isinstance(func, ast.Name) else None
+                    if attr == "register":
+                        return True
+    return False
+
+
+def _is_trace_none_check(node: ast.expr) -> bool:
+    """``_TRACE is not None`` (or ``_TRACE`` truthiness) comparison."""
+    if isinstance(node, ast.Compare) and len(node.ops) == 1 \
+            and isinstance(node.ops[0], ast.IsNot) \
+            and isinstance(node.left, ast.Name) \
+            and node.left.id == "_TRACE" \
+            and isinstance(node.comparators[0], ast.Constant) \
+            and node.comparators[0].value is None:
+        return True
+    return False
+
+
+class _TraceGuardChecker(ast.NodeVisitor):
+    def __init__(self, path: str, registered: bool) -> None:
+        self.path = path
+        self.registered = registered
+        self.violations: List[Violation] = []
+        self._guarded = 0
+        self._flagged_registration = False
+
+    def _use(self, node: ast.AST, what: str) -> None:
+        if not self.registered and not self._flagged_registration:
+            self._flagged_registration = True
+            self.violations.append(Violation(
+                self.path, node.lineno, node.col_offset + 1, "VR140",
+                "module uses _TRACE but never registers it "
+                "(_TRACE = <hooks>.register(__name__))"))
+        if self._guarded == 0:
+            self.violations.append(Violation(
+                self.path, node.lineno, node.col_offset + 1, "VR140",
+                f"{what} outside an `if _TRACE is not None` guard; "
+                f"traced-off runs must pay only the identity test"))
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if isinstance(node.value, ast.Name) and node.value.id == "_TRACE":
+            self._use(node, f"_TRACE.{node.attr} used")
+            return  # don't descend; one report per use site
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        # The registration assignment itself is the sanctioned bare use.
+        if any(isinstance(target, ast.Name) and target.id == "_TRACE"
+               for target in node.targets):
+            return
+        self.generic_visit(node)
+
+    def visit_BoolOp(self, node: ast.BoolOp) -> None:
+        if isinstance(node.op, ast.And):
+            guarded_from: Optional[int] = None
+            for index, value in enumerate(node.values):
+                if guarded_from is None:
+                    self.visit(value)
+                    if _is_trace_none_check(value):
+                        guarded_from = index
+                else:
+                    self._guarded += 1
+                    self.visit(value)
+                    self._guarded -= 1
+            return
+        self.generic_visit(node)
+
+    def visit_If(self, node: ast.If) -> None:
+        self.visit(node.test)
+        guards = _guard_in_test(node.test)
+        if guards:
+            self._guarded += 1
+        for stmt in node.body:
+            self.visit(stmt)
+        if guards:
+            self._guarded -= 1
+        for stmt in node.orelse:
+            self.visit(stmt)
+
+    def visit_IfExp(self, node: ast.IfExp) -> None:
+        self.visit(node.test)
+        if _guard_in_test(node.test):
+            self._guarded += 1
+            self.visit(node.body)
+            self._guarded -= 1
+        else:
+            self.visit(node.body)
+        self.visit(node.orelse)
+
+
+def _guard_in_test(test: ast.expr) -> bool:
+    if _is_trace_none_check(test):
+        return True
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+        return any(_is_trace_none_check(value) for value in test.values)
+    return False

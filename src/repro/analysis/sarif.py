@@ -1,0 +1,244 @@
+"""SARIF 2.1.0 export for ``repro lint --format sarif``.
+
+SARIF (Static Analysis Results Interchange Format, OASIS 2.1.0) is what
+GitHub code scanning ingests: uploading the artifact from CI turns every
+finding into an inline PR annotation.  One ``run`` is emitted, with the
+full rule catalog (id, short description, help text) under
+``tool.driver`` and one ``result`` per finding carrying its physical
+location.
+
+:func:`validate` is a dependency-free structural checker for the subset
+of the spec this exporter uses (the container can't install
+``jsonschema``); the test suite runs every export through it, and it is
+strict about the fields GitHub actually requires — versions, URIs,
+1-based regions, and rule-index consistency.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.lint import Violation
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+
+TOOL_NAME = "repro-lint"
+TOOL_URI = "https://example.invalid/repro"  # repository-relative tool
+
+
+def _level_for(code: str) -> str:
+    """SARIF severity: analyzer meta-findings are warnings, rules errors."""
+    if code in ("VR000", "VR090"):
+        return "warning"
+    return "error"
+
+
+def to_sarif(violations: Sequence[Violation],
+             rules: Dict[str, str],
+             hints: Optional[Dict[str, str]] = None,
+             base_dir: Optional[Path] = None) -> Dict[str, object]:
+    """Build the SARIF 2.1.0 document for ``violations``.
+
+    ``rules`` maps rule id -> short description; ``hints`` (optional)
+    maps rule id -> help text.  ``base_dir`` relativizes artifact URIs.
+    """
+    hints = hints or {}
+    used_codes = sorted({v.code for v in violations} | set(rules))
+    rule_index = {code: index for index, code in enumerate(used_codes)}
+    rule_objects = []
+    for code in used_codes:
+        rule: Dict[str, object] = {
+            "id": code,
+            "shortDescription": {
+                "text": rules.get(code, "analyzer meta-finding")},
+            "defaultConfiguration": {"level": _level_for(code)},
+        }
+        if code in hints:
+            rule["help"] = {"text": hints[code]}
+        rule_objects.append(rule)
+
+    results = []
+    for violation in violations:
+        uri = Path(violation.path).as_posix()
+        if base_dir is not None:
+            try:
+                uri = Path(violation.path).resolve() \
+                    .relative_to(base_dir.resolve()).as_posix()
+            except ValueError:
+                pass
+        results.append({
+            "ruleId": violation.code,
+            "ruleIndex": rule_index[violation.code],
+            "level": _level_for(violation.code),
+            "message": {"text": violation.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": uri,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": max(1, violation.line),
+                        "startColumn": max(1, violation.col),
+                    },
+                },
+            }],
+        })
+
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": TOOL_NAME,
+                    "informationUri": TOOL_URI,
+                    "version": "1.0.0",
+                    "rules": rule_objects,
+                },
+            },
+            "originalUriBaseIds": {
+                "SRCROOT": {"uri": "file:///"},
+            },
+            "results": results,
+            "columnKind": "utf16CodeUnits",
+        }],
+    }
+
+
+def write_sarif(violations: Sequence[Violation], rules: Dict[str, str],
+                path: str, hints: Optional[Dict[str, str]] = None,
+                base_dir: Optional[Path] = None) -> int:
+    document = to_sarif(violations, rules, hints, base_dir)
+    Path(path).write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+    return len(document["runs"][0]["results"])
+
+
+# -- structural validation -----------------------------------------------------
+
+
+def validate(document: object) -> List[str]:
+    """Check ``document`` against the SARIF 2.1.0 subset we emit.
+
+    Returns a list of problems (empty = valid).  Covers the constraints
+    GitHub code scanning enforces: exact version, ``runs`` array, a
+    ``tool.driver`` with a name and well-formed rule objects, and for
+    every result a message, a known ``ruleId``/``ruleIndex`` pair, and
+    1-based physical locations.
+    """
+    problems: List[str] = []
+
+    def check(condition: bool, message: str) -> bool:
+        if not condition:
+            problems.append(message)
+        return condition
+
+    if not check(isinstance(document, dict), "document is not an object"):
+        return problems
+    check(document.get("version") == SARIF_VERSION,
+          f"version must be {SARIF_VERSION!r}")
+    check(isinstance(document.get("$schema"), str) or
+          "$schema" not in document, "$schema must be a string")
+    runs = document.get("runs")
+    if not check(isinstance(runs, list) and runs, "runs must be a "
+                                                  "non-empty array"):
+        return problems
+    for run_index, run in enumerate(runs):
+        where = f"runs[{run_index}]"
+        if not check(isinstance(run, dict), f"{where} is not an object"):
+            continue
+        driver = (run.get("tool") or {}).get("driver") \
+            if isinstance(run.get("tool"), dict) else None
+        if not check(isinstance(driver, dict),
+                     f"{where}.tool.driver missing"):
+            continue
+        check(isinstance(driver.get("name"), str) and driver.get("name"),
+              f"{where}.tool.driver.name missing")
+        rules = driver.get("rules", [])
+        check(isinstance(rules, list), f"{where}.tool.driver.rules must "
+                                       f"be an array")
+        rule_ids: List[str] = []
+        for rule_no, rule in enumerate(rules if isinstance(rules, list)
+                                       else []):
+            rwhere = f"{where}.tool.driver.rules[{rule_no}]"
+            if not check(isinstance(rule, dict),
+                         f"{rwhere} is not an object"):
+                continue
+            if check(isinstance(rule.get("id"), str) and rule.get("id"),
+                     f"{rwhere}.id missing"):
+                rule_ids.append(rule["id"])
+            short = rule.get("shortDescription")
+            check(isinstance(short, dict)
+                  and isinstance(short.get("text"), str),
+                  f"{rwhere}.shortDescription.text missing")
+        results = run.get("results")
+        if not check(isinstance(results, list),
+                     f"{where}.results must be an array"):
+            continue
+        for result_no, result in enumerate(results):
+            pwhere = f"{where}.results[{result_no}]"
+            if not check(isinstance(result, dict),
+                         f"{pwhere} is not an object"):
+                continue
+            message = result.get("message")
+            check(isinstance(message, dict)
+                  and isinstance(message.get("text"), str)
+                  and message.get("text"),
+                  f"{pwhere}.message.text missing")
+            rule_id = result.get("ruleId")
+            check(isinstance(rule_id, str) and rule_id,
+                  f"{pwhere}.ruleId missing")
+            if rule_ids and isinstance(rule_id, str):
+                check(rule_id in rule_ids,
+                      f"{pwhere}.ruleId {rule_id!r} not in the rule "
+                      f"catalog")
+            rule_index = result.get("ruleIndex")
+            if rule_index is not None and rule_ids:
+                check(isinstance(rule_index, int)
+                      and 0 <= rule_index < len(rule_ids)
+                      and rule_ids[rule_index] == rule_id,
+                      f"{pwhere}.ruleIndex does not match ruleId")
+            level = result.get("level")
+            check(level in (None, "none", "note", "warning", "error"),
+                  f"{pwhere}.level invalid: {level!r}")
+            locations = result.get("locations", [])
+            check(isinstance(locations, list) and locations,
+                  f"{pwhere}.locations must be a non-empty array")
+            for loc_no, location in enumerate(
+                    locations if isinstance(locations, list) else []):
+                lwhere = f"{pwhere}.locations[{loc_no}]"
+                physical = location.get("physicalLocation") \
+                    if isinstance(location, dict) else None
+                if not check(isinstance(physical, dict),
+                             f"{lwhere}.physicalLocation missing"):
+                    continue
+                artifact = physical.get("artifactLocation")
+                check(isinstance(artifact, dict)
+                      and isinstance(artifact.get("uri"), str),
+                      f"{lwhere}...artifactLocation.uri missing")
+                region = physical.get("region")
+                if region is not None:
+                    check(isinstance(region, dict)
+                          and isinstance(region.get("startLine"), int)
+                          and region["startLine"] >= 1,
+                          f"{lwhere}...region.startLine must be >= 1")
+                    column = (region or {}).get("startColumn")
+                    check(column is None
+                          or (isinstance(column, int) and column >= 1),
+                          f"{lwhere}...region.startColumn must be >= 1")
+    return problems
+
+
+def validate_file(path: str) -> List[str]:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: unreadable or not JSON: {exc}"]
+    return validate(document)

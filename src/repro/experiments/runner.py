@@ -33,6 +33,9 @@ from repro.workload.background import BackgroundTraffic
 from repro.workload.distributions import get_distribution
 from repro.workload.incast import IncastApp, qps_for_load
 
+#: Named RNG streams this module owns (checked by lint rule VR110).
+RNG_STREAMS = ("background", "incast")
+
 
 def derive_ecn_threshold(params: NetworkParams, mss: int) -> int:
     """DCTCP marking threshold K, scaled to the buffer when it is shallow.

@@ -31,6 +31,10 @@ if TYPE_CHECKING:  # pragma: no cover
 #: a cable cut at t takes effect before packets delivered at t.
 FAULT_PRIORITY = -1
 
+#: Named RNG streams this module owns (checked by lint rule VR110);
+#: one per-cable loss stream, keyed by the canonical cable name.
+RNG_STREAMS = ("faultloss:",)
+
 #: ``on_event(kind, link)`` notification labels per spec kind.
 EVENT_KINDS = {"down": "link_down", "up": "link_up", "rate": "link_rate",
                "loss": "link_loss_rate"}

@@ -31,6 +31,10 @@ from repro.sim.units import gbps, kb, usecs
 
 PolicyFactory = Callable[[Switch, "RngRegistry"], object]
 
+#: Named RNG streams this module owns (checked by lint rule VR110);
+#: trailing-colon entries declare per-entity stream-name prefixes.
+RNG_STREAMS = ("linkloss:", "policy:")
+
 
 def cable_key(a: str, b: str) -> Tuple[str, str]:
     """Canonical (sorted) endpoint pair naming a full-duplex cable."""

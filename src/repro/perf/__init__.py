@@ -18,6 +18,9 @@ a regression trajectory:
    ``cpus`` field qualifies the number (a 1-CPU container measures ≈1×
    however many workers are used — use the digest-equality tests, not
    this number, to validate the parallel path there).
+4. **Static-analyzer wall clock** — the multi-pass ``repro lint`` over
+   ``src``, cold and cache-warm, so CI lint latency is tracked like any
+   other perf number.
 
 ``--quick`` shrinks every measurement for CI smoke use; ``--profile``
 prints the top of a cProfile run over the experiment for hot-path work.
@@ -146,6 +149,36 @@ def measure_sweep(jobs: int, sim_time_ns: int,
     }
 
 
+def measure_lint() -> Dict[str, object]:
+    """Static-analyzer wall clock over ``src``: cold, then cache-warm.
+
+    The cold number is what a fresh CI runner pays for the full
+    multi-pass lint (per-function rules + call graph + dataflow); the
+    warm number is the incremental cost with the content-hash cache
+    populated (what ``actions/cache`` restores buy).
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.analysis.driver import collect_files, run_analysis
+    from repro.analysis.lint import load_config
+
+    config = load_config()
+    files = collect_files(["src"])
+    cold = run_analysis(files, config)
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = Path(tmp) / "cache.json"
+        run_analysis(files, config, cache_path=cache)
+        warm = run_analysis(files, config, cache_path=cache)
+    return {
+        "files": cold.files_checked,
+        "findings": len(cold.findings),
+        "cold_wall_s": round(cold.wall_s, 3),
+        "warm_wall_s": round(warm.wall_s, 3),
+        "warm_cache_hits": warm.cache_hits,
+    }
+
+
 def profile_experiment(sim_time_ns: int, top: int = 20) -> str:
     """cProfile the reference experiment; return the formatted hot list."""
     import cProfile
@@ -223,7 +256,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "cpus": os.cpu_count(),
     }
 
-    print(f"[1/3] kernel: {n_events} events x {args.repeats} repeats ...",
+    print(f"[1/4] kernel: {n_events} events x {args.repeats} repeats ...",
           file=sys.stderr)
     event_path = _best_of(lambda: time_kernel(n_events, fast=False),
                           args.repeats)
@@ -235,7 +268,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "fast_path_events_per_sec": round(n_events / fast_path),
     }
 
-    print("[2/3] reference experiment ...", file=sys.stderr)
+    print("[2/4] reference experiment ...", file=sys.stderr)
     report["experiment"] = measure_experiment(exp_sim_ns)
 
     if args.trace_overhead:
@@ -257,10 +290,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.skip_sweep:
         report["sweep"] = None
     else:
-        print(f"[3/3] reference sweep, serial vs --jobs {jobs} ...",
+        print(f"[3/4] reference sweep, serial vs --jobs {jobs} ...",
               file=sys.stderr)
         points = SWEEP_POINTS[:4] if quick else SWEEP_POINTS
         report["sweep"] = measure_sweep(jobs, sweep_sim_ns, points)
+
+    print("[4/4] static analyzer over src (cold + cache-warm) ...",
+          file=sys.stderr)
+    report["lint"] = measure_lint()
 
     if args.profile:
         print(profile_experiment(exp_sim_ns))
@@ -280,6 +317,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
               f"{sweep_report['jobs']} {sweep_report['parallel_wall_s']}s "
               f"-> {sweep_report['speedup']}x "
               f"({report['cpus']} CPU(s) visible)")
+
+    lint_report = report["lint"]
+    print(f"lint: {lint_report['files']} files, "
+          f"{lint_report['cold_wall_s']}s cold, "
+          f"{lint_report['warm_wall_s']}s cache-warm")
 
     if args.trace_overhead and "trace_overhead" in report:
         for level, numbers in report["trace_overhead"].items():

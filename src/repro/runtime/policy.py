@@ -31,6 +31,9 @@ from repro.sim.rng import RngRegistry
 ENV_RUN_TIMEOUT = "REPRO_RUN_TIMEOUT_S"
 ENV_MAX_RETRIES = "REPRO_MAX_RETRIES"
 
+#: Named RNG streams this module owns (checked by lint rule VR110).
+RNG_STREAMS = ("runtime.backoff",)
+
 #: Terminal classifications of one sweep point under supervision.
 #: ``aborted`` marks points cancelled by an interrupt before finishing.
 RUN_STATUSES = ("ok", "timeout", "crashed", "failed", "aborted")

@@ -1,0 +1,13 @@
+"""VR100 bad: a seconds-float return value crosses a call boundary
+into an integer-nanosecond slot.  VR003 cannot see this (the call is
+opaque to the per-function pass); only the interprocedural summary
+knows ``propagation_delay_s`` returns seconds.
+"""
+
+
+def propagation_delay_s(meters):
+    return meters / 2e8
+
+
+def wire_up(link):
+    link.delay_ns = propagation_delay_s(100)

@@ -1,0 +1,15 @@
+"""VR110 bad, entry half: a forwarding-policy method reaches a global
+``random`` draw — but only through the helper module, so the finding
+requires the cross-file call graph.
+"""
+
+from helper import pick_port
+
+
+class ForwardingPolicy:
+    pass
+
+
+class SprayPolicy(ForwardingPolicy):
+    def forward(self, packet, ports):
+        return pick_port(ports)

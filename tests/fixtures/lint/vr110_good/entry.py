@@ -1,0 +1,15 @@
+"""VR110 good: the policy draws from a declared named stream."""
+
+from helper import pick_port
+
+
+class ForwardingPolicy:
+    pass
+
+
+class SprayPolicy(ForwardingPolicy):
+    def __init__(self, rng):
+        self.rng = rng
+
+    def forward(self, packet, ports):
+        return pick_port(self.rng, ports)

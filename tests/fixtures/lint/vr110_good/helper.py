@@ -1,0 +1,13 @@
+"""VR110 good, helper half: entropy comes from the injected stream,
+and the one literal stream name is declared in RNG_STREAMS.
+"""
+
+RNG_STREAMS = ("spray",)
+
+
+def pick_port(rng, ports):
+    return ports[rng.randrange(len(ports))]
+
+
+def build(registry):
+    return registry.stream("spray")

@@ -1,0 +1,18 @@
+"""VR120 bad: handler-reachable code writes module- and class-lifetime
+state that no digest input covers — it leaks across runs in-process.
+"""
+
+SEEN_FLOWS = {}
+
+
+class ForwardingPolicy:
+    pass
+
+
+class StickyPolicy(ForwardingPolicy):
+    generation = 0
+
+    def forward(self, packet, ports):
+        SEEN_FLOWS[packet.flow_id] = True
+        StickyPolicy.generation = StickyPolicy.generation + 1
+        return ports[0]

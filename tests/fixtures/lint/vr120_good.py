@@ -1,0 +1,16 @@
+"""VR120 good: per-run state lives on the instance, built per run."""
+
+
+class ForwardingPolicy:
+    pass
+
+
+class StickyPolicy(ForwardingPolicy):
+    def __init__(self):
+        self.seen_flows = {}
+        self.generation = 0
+
+    def forward(self, packet, ports):
+        self.seen_flows[packet.flow_id] = True
+        self.generation += 1
+        return ports[0]

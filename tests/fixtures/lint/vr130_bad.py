@@ -1,0 +1,18 @@
+"""VR130 bad: unpicklable callables handed to the worker pool — a
+lambda and a bound method of a class holding a lock.
+"""
+
+import threading
+
+
+class Sweep:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def run_one(self, config):
+        return config
+
+    def launch(self, pool, configs):
+        futures = [pool.submit(self.run_one, config) for config in configs]
+        pool.submit(lambda: 42)
+        return futures

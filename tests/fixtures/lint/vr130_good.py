@@ -1,0 +1,17 @@
+"""VR130 good: a module-level function is submitted — spawn workers
+re-import it by qualified name without pickling any live state.
+"""
+
+import threading
+
+
+def run_one(config):
+    return config
+
+
+class Sweep:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def launch(self, pool, configs):
+        return [pool.submit(run_one, config) for config in configs]

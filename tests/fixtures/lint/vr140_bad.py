@@ -1,0 +1,11 @@
+"""VR140 bad: the trace hook is used without the identity guard, so
+every traced-off run pays the call anyway.
+"""
+
+from repro.trace import hooks as _trace_hooks
+
+_TRACE = _trace_hooks.register(__name__)
+
+
+def on_enqueue(queue, packet):
+    _TRACE.emit("enqueue", queue=queue.name, size=packet.size_bytes)

@@ -1,0 +1,96 @@
+"""The --fix engine: int coercion, pragma insertion/removal."""
+
+from pathlib import Path
+
+from repro.analysis.autofix import apply_fixes
+from repro.analysis.driver import main, run_analysis
+from repro.analysis.lint import LintConfig, Violation
+
+
+def test_int_coercion_on_ns_assignment():
+    source = "timeout_ns = delay * 1.5\n"
+    finding = Violation("mod.py", 1, 14, "VR003", "float value")
+    updated, fixes = apply_fixes({"mod.py": source}, [finding])
+    assert updated["mod.py"] == "timeout_ns = int(delay * 1.5)\n"
+    assert fixes[0].kind == "int-coercion"
+
+
+def test_int_coercion_multiline_value():
+    source = "timeout_ns = (delay\n              * 1.5)\n"
+    finding = Violation("mod.py", 1, 14, "VR003", "float value")
+    updated, _ = apply_fixes({"mod.py": source}, [finding])
+    # The wrap covers the exact value span (inside the redundant parens).
+    assert updated["mod.py"] == "timeout_ns = (int(delay\n" \
+                                "              * 1.5))\n"
+    compile(updated["mod.py"], "mod.py", "exec")  # still valid python
+
+
+def test_already_coerced_value_gets_pragma_not_double_wrap():
+    source = "timeout_ns = int(delay * 1.5)\n"
+    finding = Violation("mod.py", 1, 14, "VR003", "float value")
+    updated, fixes = apply_fixes({"mod.py": source}, [finding])
+    assert "int(int(" not in updated["mod.py"]
+    assert fixes[0].kind == "pragma"
+
+
+def test_pragma_inserted_for_unfixable_rule():
+    source = "SEEN = {}\n\ndef f(x):\n    SEEN[x] = True\n"
+    finding = Violation("mod.py", 4, 5, "VR120", "module global")
+    updated, fixes = apply_fixes({"mod.py": source}, [finding])
+    assert "SEEN[x] = True  # repro: lint-disable VR120" \
+        in updated["mod.py"]
+    assert fixes[0].kind == "pragma"
+
+
+def test_pragma_merges_into_existing():
+    source = "x = f()  # repro: lint-disable VR110\n"
+    finding = Violation("mod.py", 1, 1, "VR120", "module global")
+    updated, _ = apply_fixes({"mod.py": source}, [finding])
+    assert "lint-disable VR110, VR120" in updated["mod.py"]
+
+
+def test_stale_pragma_removed_keeping_others():
+    source = "x = f()  # repro: lint-disable VR110, VR120\n"
+    stale = Violation("mod.py", 1, 1, "VR090",
+                      "unused suppression: no VR120 finding on this line")
+    updated, fixes = apply_fixes({"mod.py": source}, [stale])
+    assert "VR120" not in updated["mod.py"]
+    assert "lint-disable VR110" in updated["mod.py"]
+    assert fixes[0].kind == "pragma-removed"
+
+
+def test_fully_stale_pragma_removed_entirely():
+    source = "x = f()  # repro: lint-disable VR110\n"
+    stale = Violation("mod.py", 1, 1, "VR090",
+                      "unused suppression: no VR110 finding on this line")
+    updated, _ = apply_fixes({"mod.py": source}, [stale])
+    assert "lint-disable" not in updated["mod.py"]
+    assert updated["mod.py"].startswith("x = f()")
+
+
+def test_bottom_up_multiple_fixes_one_file():
+    source = "a_ns = 1.5\nb_ns = 2.5\n"
+    findings = [Violation("mod.py", 1, 8, "VR003", "float"),
+                Violation("mod.py", 2, 8, "VR003", "float")]
+    updated, fixes = apply_fixes({"mod.py": source}, findings)
+    assert updated["mod.py"] == "a_ns = int(1.5)\nb_ns = int(2.5)\n"
+    assert len(fixes) == 2
+
+
+def test_cli_fix_applies_and_relints(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("timeout_ns = 1.5\n")
+    assert main([str(bad), "--fix"]) == 0
+    assert bad.read_text() == "timeout_ns = int(1.5)\n"
+    err = capsys.readouterr().err
+    assert "fixed (int-coercion)" in err
+    assert "clean" in err
+
+
+def test_driver_fix_removes_stale_pragma(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text("x = 1  # repro: lint-disable VR120\n")
+    config = LintConfig(select=("VR120",))
+    report = run_analysis([target], config, fix=True)
+    assert not report.failed
+    assert "lint-disable" not in target.read_text()

@@ -1,0 +1,95 @@
+"""The content-hash-keyed incremental findings cache."""
+
+from pathlib import Path
+
+from repro.analysis.cache import (
+    ANALYZER_VERSION,
+    LintCache,
+    file_hash,
+    project_hash,
+)
+from repro.analysis.driver import run_analysis
+from repro.analysis.lint import LintConfig, Violation
+
+
+def test_file_tier_roundtrip(tmp_path):
+    cache = LintCache(tmp_path / "cache.json", "sel")
+    finding = Violation("mod.py", 3, 1, "VR003", "float")
+    digest = file_hash("x = 1\n")
+    assert cache.get_file("mod.py", digest) is None
+    cache.put_file("mod.py", digest, [finding])
+    cache.save()
+
+    warm = LintCache(tmp_path / "cache.json", "sel")
+    assert warm.get_file("mod.py", digest) == [finding]
+    # Different content -> miss.
+    assert warm.get_file("mod.py", file_hash("x = 2\n")) is None
+
+
+def test_select_change_invalidates(tmp_path):
+    cache = LintCache(tmp_path / "cache.json", "sel-a")
+    digest = file_hash("x = 1\n")
+    cache.put_file("mod.py", digest, [])
+    cache.save()
+    other = LintCache(tmp_path / "cache.json", "sel-b")
+    assert other.get_file("mod.py", digest) is None
+
+
+def test_project_tier_keys_on_all_hashes():
+    hashes = {"a.py": "h1", "b.py": "h2"}
+    assert project_hash(hashes) == project_hash(dict(reversed(
+        list(hashes.items()))))
+    assert project_hash(hashes) != project_hash({"a.py": "h1",
+                                                 "b.py": "h3"})
+
+
+def test_driver_cache_hit_then_invalidation_on_edit(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text("def delay_s():\n    return 1.5\n\n"
+                      "def arm(flow):\n    flow.timeout_ns = delay_s()\n")
+    cache_path = tmp_path / "cache.json"
+    config = LintConfig(select=("VR100",))
+
+    cold = run_analysis([target], config, cache_path=cache_path)
+    assert [v.code for v in cold.findings] == ["VR100"]
+    assert cold.cache_hits == 0
+
+    warm = run_analysis([target], config, cache_path=cache_path)
+    assert [v.code for v in warm.findings] == ["VR100"]
+    assert warm.cache_hits > 0 and warm.cache_misses == 0
+
+    # Edit the file: the finding must re-appear from a fresh pass, not
+    # the stale cache entry.
+    target.write_text("def delay_s():\n    return 1.5\n\n"
+                      "def arm(flow):\n"
+                      "    flow.timeout_ns = int(delay_s())\n")
+    fixed = run_analysis([target], config, cache_path=cache_path)
+    assert fixed.findings == []
+    assert fixed.cache_misses > 0
+
+    target.write_text("def delay_s():\n    return 1.5\n\n"
+                      "def arm(flow):\n    flow.timeout_ns = delay_s()\n")
+    again = run_analysis([target], config, cache_path=cache_path)
+    assert [v.code for v in again.findings] == ["VR100"]
+
+
+def test_analyzer_version_stamp_invalidates(tmp_path):
+    cache = LintCache(tmp_path / "cache.json", "sel")
+    cache.put_file("mod.py", "digest", [])
+    cache.save()
+    raw = (tmp_path / "cache.json").read_text()
+    assert ANALYZER_VERSION in raw
+    (tmp_path / "cache.json").write_text(
+        raw.replace(ANALYZER_VERSION, "vr0xx-0"))
+    stale = LintCache(tmp_path / "cache.json", "sel")
+    assert stale.get_file("mod.py", "digest") is None
+
+
+def test_corrupt_cache_file_is_ignored(tmp_path):
+    path = tmp_path / "cache.json"
+    path.write_text("{not json")
+    cache = LintCache(path, "sel")
+    assert cache.get_file("mod.py", "digest") is None
+    cache.put_file("mod.py", "digest", [])
+    cache.save()  # must not raise
+    assert LintCache(path, "sel").get_file("mod.py", "digest") == []

@@ -1,0 +1,89 @@
+"""Golden-findings suite for the interprocedural VR1xx rules.
+
+Each rule has a known-bad fixture that must fire and a known-good
+counterpart that must stay silent; the VR110 bad case spans two files,
+pinning the cross-file (interprocedural) behaviour of the call graph.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.driver import run_analysis
+from repro.analysis.lint import LintConfig
+
+FIXTURES = Path(__file__).resolve().parents[1] / "fixtures" / "lint"
+
+CASES = [
+    ("VR100", ["vr100_bad.py"], ["vr100_good.py"]),
+    ("VR110", ["vr110_bad/entry.py", "vr110_bad/helper.py"],
+     ["vr110_good/entry.py", "vr110_good/helper.py"]),
+    ("VR120", ["vr120_bad.py"], ["vr120_good.py"]),
+    ("VR130", ["vr130_bad.py"], ["vr130_good.py"]),
+    ("VR140", ["vr140_bad.py"], ["vr140_good.py"]),
+]
+
+
+def findings(code, names):
+    files = [FIXTURES / name for name in names]
+    for path in files:
+        assert path.is_file(), f"missing fixture {path}"
+    config = LintConfig(select=(code,))
+    report = run_analysis(files, config)
+    return [v for v in report.findings if v.code == code]
+
+
+@pytest.mark.parametrize("code,bad,good", CASES,
+                         ids=[case[0] for case in CASES])
+def test_bad_fixture_fires_good_fixture_passes(code, bad, good):
+    assert findings(code, bad), f"{code} missed its bad fixture"
+    assert findings(code, good) == [], f"{code} false positive on good"
+
+
+def test_vr100_finding_names_the_seconds_source():
+    [violation] = findings("VR100", ["vr100_bad.py"])
+    assert "delay_ns" in violation.message
+    assert "propagation_delay_s" in violation.message
+
+
+def test_vr110_is_interprocedural_across_files():
+    hits = findings("VR110", ["vr110_bad/entry.py", "vr110_bad/helper.py"])
+    sink = [v for v in hits if "random.choice" in v.message]
+    assert sink, "expected the global-draw sink finding"
+    # The sink lives in helper.py but is only reachable through the
+    # policy method in entry.py — the witness chain must say so.
+    assert sink[0].path.endswith("helper.py")
+    assert "forward" in sink[0].message
+    # Neither file alone produces the reachability finding.
+    alone = findings("VR110", ["vr110_bad/helper.py"])
+    assert [v for v in alone if "random.choice" in v.message] == []
+
+
+def test_vr120_names_both_kinds_of_state():
+    hits = findings("VR120", ["vr120_bad.py"])
+    messages = "\n".join(v.message for v in hits)
+    assert "SEEN_FLOWS" in messages
+    assert "generation" in messages
+
+
+def test_vr130_flags_lambda_and_bound_method():
+    hits = findings("VR130", ["vr130_bad.py"])
+    messages = "\n".join(v.message for v in hits)
+    assert "lambda" in messages
+    assert "bound method" in messages
+
+
+def test_vr140_reports_unguarded_use_only():
+    bad = findings("VR140", ["vr140_bad.py"])
+    assert any("guard" in v.message for v in bad)
+
+
+def test_full_tree_is_clean_under_all_passes():
+    root = Path(__file__).resolve().parents[2]
+    from repro.analysis.lint import load_config
+    config = load_config(root / "pyproject.toml")
+    files = sorted((root / "src").rglob("*.py"))
+    report = run_analysis(files, config,
+                          baseline_path=root / "lint-baseline.json")
+    rendered = "\n".join(v.render() for v in report.all_reported())
+    assert not report.failed, rendered

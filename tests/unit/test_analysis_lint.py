@@ -427,7 +427,17 @@ def test_cli_rejects_unknown_rule(tmp_path):
     assert excinfo.value.code == 2
 
 
-def test_cli_rejects_missing_path():
-    with pytest.raises(SystemExit) as excinfo:
-        main(["/no/such/path.py"])
-    assert excinfo.value.code == 2
+def test_cli_rejects_missing_path(capsys):
+    assert main(["/no/such/path.py"]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("repro: error:")
+    assert len(err.strip().splitlines()) == 1
+
+
+def test_cli_rejects_directory_without_python(tmp_path, capsys):
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    assert main([str(empty)]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("repro: error:")
+    assert "no python files" in err

@@ -1,0 +1,82 @@
+"""SARIF 2.1.0 export and its structural validator."""
+
+import json
+
+from repro.analysis.driver import ALL_HINTS, ALL_RULES, main
+from repro.analysis.lint import Violation
+from repro.analysis.sarif import (
+    SARIF_VERSION,
+    to_sarif,
+    validate,
+    validate_file,
+)
+
+
+def sample_violations():
+    return [
+        Violation("src/repro/mod.py", 10, 5, "VR100", "seconds into ns"),
+        Violation("src/repro/mod.py", 20, 1, "VR110", "global draw"),
+    ]
+
+
+def test_export_validates_against_schema_subset():
+    document = to_sarif(sample_violations(), ALL_RULES, ALL_HINTS)
+    assert validate(document) == []
+
+
+def test_export_structure():
+    document = to_sarif(sample_violations(), ALL_RULES, ALL_HINTS)
+    assert document["version"] == SARIF_VERSION
+    run = document["runs"][0]
+    rule_ids = [rule["id"] for rule in run["tool"]["driver"]["rules"]]
+    assert "VR100" in rule_ids and "VR001" in rule_ids
+    result = run["results"][0]
+    assert result["ruleId"] == "VR100"
+    assert rule_ids[result["ruleIndex"]] == "VR100"
+    location = result["locations"][0]["physicalLocation"]
+    assert location["region"]["startLine"] == 10
+    assert location["artifactLocation"]["uri"].endswith("mod.py")
+
+
+def test_validator_rejects_bad_documents():
+    assert validate([]) != []
+    assert validate({"version": "2.0.0", "runs": []}) != []
+
+    document = to_sarif(sample_violations(), ALL_RULES, ALL_HINTS)
+    document["runs"][0]["results"][0]["ruleIndex"] = 999
+    assert any("ruleIndex" in problem for problem in validate(document))
+
+    document = to_sarif(sample_violations(), ALL_RULES, ALL_HINTS)
+    document["runs"][0]["results"][0]["locations"][0][
+        "physicalLocation"]["region"]["startLine"] = 0
+    assert any("startLine" in problem for problem in validate(document))
+
+
+def test_cli_format_sarif_writes_valid_file(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("timeout_ns = 1.5\n")
+    out = tmp_path / "findings.sarif"
+    code = main([str(bad), "--format", "sarif", "--output", str(out)])
+    assert code == 1
+    assert validate_file(str(out)) == []
+    document = json.loads(out.read_text())
+    rule_ids = {result["ruleId"]
+                for result in document["runs"][0]["results"]}
+    assert "VR003" in rule_ids
+
+
+def test_cli_format_sarif_stdout(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("timeout_ns = 1.5\n")
+    assert main([str(bad), "--format", "sarif"]) == 1
+    document = json.loads(capsys.readouterr().out)
+    assert validate(document) == []
+
+
+def test_cli_format_json(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("timeout_ns = 1.5\n")
+    assert main([str(bad), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema"] == 1
+    assert payload["findings"][0]["code"] == "VR003"
