@@ -151,6 +151,16 @@ INDEX = [
      "point; DT shared buffers narrow but do not close the gap for "
      "drop-based ECMP; the system ordering is insensitive to the ACK "
      "policy."),
+    ("Paper scale (hybrid fidelity, beyond the bench profile)",
+     ["paper_scale"],
+     "All evaluation runs use the full 320-server leaf-spine (10/40 "
+     "Gbps, 300 KB buffers) for multiple simulated seconds.",
+     "With --fidelity hybrid the full paper geometry covers one "
+     "simulated second in ~21 s of wall clock (1-CPU container): ~157k "
+     "flows and ~1.9k degree-12 incast queries at 100% completion, "
+     "1000 permille analytic residency. Accuracy contract (p50 25% / "
+     "p99 40% vs packet) validated at bench scale and 80 servers; see "
+     "DESIGN.md 'Hybrid fidelity'."),
     ("§4.4 host datapath", ["(pytest-benchmark timings)"],
      "Two extra cuckoo lookups cost ~300 ns; marking changes throughput "
      "by <0.1% (DPDK/C on Xeon).",

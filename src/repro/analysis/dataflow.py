@@ -29,6 +29,15 @@ environment).  Summaries propagate around the call graph to a fixpoint
 - a ``return`` of a float-valued expression from a function whose own
   name is ``*_ns``-suffixed (its callers will treat the result as
   integer nanoseconds).
+
+**VR150** is VR100's stricter sibling for the analytic fast path: in
+any function whose name contains ``analytic`` (the hybrid-fidelity
+completion-time computations — ``analytic_round_ns``,
+``_start_analytic_round``, ...), *every* float-valued assignment,
+augmented true division, and float-valued ``return`` is flagged, not
+just the ones feeding a ``*_ns`` name.  Every intermediate in those
+functions feeds an event timestamp, and float rounding there breaks
+bit-for-bit digest stability across platforms.
 """
 
 from __future__ import annotations
@@ -437,3 +446,69 @@ def _check_call_args(root: ast.AST, func: FunctionInfo, inf: _Inferencer,
                         "VR100",
                         f"float value passed to parameter '{param}' of "
                         f"{inf._describe(callee)}: {info.why}"))
+
+
+# -- VR150 ---------------------------------------------------------------------
+
+#: Functions whose name contains this marker form the analytic
+#: completion-time path; see the module docstring.
+_ANALYTIC_MARKER = "analytic"
+
+
+def check_vr150(project: Project, graph: CallGraph,
+                summaries: Dict[str, FunctionSummary]) -> List[Violation]:
+    """Flag any float arithmetic inside analytic completion-time code."""
+    violations: List[Violation] = []
+    for qualname, func in project.functions.items():
+        if _ANALYTIC_MARKER not in func.name.lower():
+            continue
+        inferencer = _Inferencer(func, project, graph, summaries)
+        for stmt in getattr(func.node, "body", []):
+            _exec_for_vr150(stmt, func, inferencer, violations)
+    return violations
+
+
+def _exec_for_vr150(stmt: ast.stmt, func: FunctionInfo, inf: _Inferencer,
+                    out: List[Violation]) -> None:
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                         ast.ClassDef)):
+        return
+    if isinstance(stmt, _COMPOUND):
+        for body in _Inferencer._stmt_bodies(stmt):
+            for inner in body:
+                _exec_for_vr150(inner, func, inf, out)
+        return
+    if isinstance(stmt, ast.Return) and stmt.value is not None:
+        info = inf.infer(stmt.value)
+        if info.floatish:
+            out.append(Violation(
+                func.path, stmt.lineno, stmt.col_offset + 1, "VR150",
+                f"analytic completion-time function '{func.name}' "
+                f"returns a float-valued expression ({info.why}); the "
+                f"analytic path must stay in integer nanoseconds"))
+    if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+        targets = stmt.targets if isinstance(stmt, ast.Assign) \
+            else [stmt.target]
+        value = stmt.value
+        if value is not None:
+            info = inf.infer(value)
+            if info.floatish:
+                name = next(
+                    (target.id if isinstance(target, ast.Name)
+                     else target.attr
+                     for target in targets
+                     if isinstance(target, (ast.Name, ast.Attribute))),
+                    "<target>")
+                out.append(Violation(
+                    func.path, stmt.lineno, stmt.col_offset + 1, "VR150",
+                    f"float arithmetic in analytic completion-time "
+                    f"code: '{name}' gets {info.why} in '{func.name}'; "
+                    f"keep every intermediate in integer nanoseconds "
+                    f"(scale first, then floor-divide)"))
+    if isinstance(stmt, ast.AugAssign) and isinstance(stmt.op, ast.Div):
+        out.append(Violation(
+            func.path, stmt.lineno, stmt.col_offset + 1, "VR150",
+            f"augmented true division in analytic completion-time "
+            f"code ('{func.name}'); use //= so the result stays an "
+            f"integer nanosecond count"))
+    inf._exec(stmt)  # update the abstract environment

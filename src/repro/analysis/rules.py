@@ -55,6 +55,7 @@ RULES_VR1XX: Dict[str, str] = {
     "VR120": "digest-escaping mutable state written from handler code",
     "VR130": "unpicklable callable submitted to the worker pool",
     "VR140": "trace hook not guarded by the zero-cost _TRACE pattern",
+    "VR150": "float arithmetic inside analytic completion-time code",
 }
 
 HINTS_VR1XX: Dict[str, str] = {
@@ -68,6 +69,8 @@ HINTS_VR1XX: Dict[str, str] = {
              "re-import it by qualified name",
     "VR140": "guard with `if _TRACE is not None:` (module-global load + "
              "identity test) so traced-off runs pay nothing",
+    "VR150": "the analytic fast path feeds event timestamps: keep every "
+             "intermediate integral (scale first, then floor-divide)",
 }
 
 _RANDOM_DRAWS = frozenset({

@@ -27,6 +27,7 @@ from repro.experiments.parallel import resolve_jobs
 from repro.experiments.runner import run_experiment
 from repro.experiments.sweeps import format_table, sweep
 from repro.faults import parse_faults
+from repro.net.fidelity import FIDELITY_MODES, FidelityConfig
 from repro.net.topology import FatTree
 from repro.runtime import SupervisorPolicy, run_supervised
 from repro.sim.units import MILLISECOND
@@ -63,6 +64,13 @@ def _add_experiment_arguments(parser: argparse.ArgumentParser) -> None:
                              "leaf-spine")
     parser.add_argument("--paper-scale", action="store_true",
                         help="full 320-server paper topology (very slow)")
+    parser.add_argument("--fidelity", choices=list(FIDELITY_MODES),
+                        default="packet",
+                        help="simulation fidelity: 'packet' (full "
+                             "packet-level, default), 'hybrid' (analytic "
+                             "fast path on uncongested links, demoting to "
+                             "packets under congestion), or 'flow' "
+                             "(always analytic; fast but coarse)")
     parser.add_argument("--sanitize", action="store_true",
                         help="run with the runtime invariant sanitizer "
                              "(repro.analysis.sanitize) enabled")
@@ -138,6 +146,7 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
     config.sanitize = args.sanitize
     config.faults = parse_faults(args.faults)
     config.trace = _trace_config_from_args(args)
+    config.fidelity = FidelityConfig(mode=args.fidelity)
     return config
 
 

@@ -11,7 +11,7 @@ bounded eviction chains, and deletion support.
 from __future__ import annotations
 
 import hashlib
-from typing import List, Optional
+from typing import Dict, List
 
 _MAX_KICKS = 500
 
@@ -39,7 +39,10 @@ class CuckooFilter:
         self._bucket_size = bucket_size
         self._fp_mask = (1 << fingerprint_bits) - 1
         self._seed = seed
-        self._buckets: List[List[int]] = [[] for _ in range(n_buckets)]
+        # Buckets materialize on first touch: a filter sized for the
+        # worst case (tens of thousands of slots per host) would
+        # otherwise dominate network build time with empty lists.
+        self._buckets: Dict[int, List[int]] = {}
         # Victim stash: (index, fingerprint) pairs displaced by a failed
         # eviction chain, so a failed insert never loses *another* item
         # (no false negatives for previously inserted members).
@@ -80,7 +83,11 @@ class CuckooFilter:
         i1 = self._index(item)
         i2 = self._alt_index(i1, fp)
         for index in (i1, i2):
-            bucket = self._buckets[index]
+            bucket = self._buckets.get(index)
+            if bucket is None:
+                self._buckets[index] = [fp]
+                self.size += 1
+                return True
             if len(bucket) < self._bucket_size:
                 bucket.append(fp)
                 self.size += 1
@@ -91,7 +98,11 @@ class CuckooFilter:
             victim_slot = self._next_rand(len(bucket))
             fp, bucket[victim_slot] = bucket[victim_slot], fp
             index = self._alt_index(index, fp)
-            bucket = self._buckets[index]
+            bucket = self._buckets.get(index)
+            if bucket is None:
+                self._buckets[index] = [fp]
+                self.size += 1
+                return True
             if len(bucket) < self._bucket_size:
                 bucket.append(fp)
                 self.size += 1
@@ -105,10 +116,10 @@ class CuckooFilter:
     def contains(self, item: int) -> bool:
         fp = self._fingerprint(item)
         i1 = self._index(item)
-        if fp in self._buckets[i1]:
+        if fp in self._buckets.get(i1, ()):
             return True
         i2 = self._alt_index(i1, fp)
-        if fp in self._buckets[i2]:
+        if fp in self._buckets.get(i2, ()):
             return True
         return any(f == fp and idx in (i1, i2) for idx, f in self._stash)
 
@@ -118,8 +129,8 @@ class CuckooFilter:
         i1 = self._index(item)
         i2 = self._alt_index(i1, fp)
         for index in (i1, i2):
-            bucket = self._buckets[index]
-            if fp in bucket:
+            bucket = self._buckets.get(index)
+            if bucket and fp in bucket:
                 bucket.remove(fp)
                 self.size -= 1
                 return True

@@ -25,6 +25,7 @@ from repro.core.ordering import DEFAULT_TIMEOUT_NS
 from repro.faults.spec import FaultSpec
 from repro.forwarding.vertigo import VertigoSwitchParams
 from repro.net.builder import NetworkParams
+from repro.net.fidelity import FidelityConfig
 from repro.net.topology import (
     FatTree,
     LeafSpine,
@@ -120,6 +121,11 @@ class ExperimentConfig:
     #: every hook dormant — the traced-off hot path costs one module-
     #: global identity test per hook site.
     trace: Optional[TraceConfig] = None
+    #: Simulation fidelity (:mod:`repro.net.fidelity`): ``packet`` keeps
+    #: today's pure packet-level path (no controller is even built);
+    #: ``flow``/``hybrid`` enable the analytic fast path for flows whose
+    #: links are uncongested.  Every field is a digest input.
+    fidelity: FidelityConfig = field(default_factory=FidelityConfig)
 
     # -- profiles --------------------------------------------------------------------
 

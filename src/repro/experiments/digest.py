@@ -38,6 +38,13 @@ def run_digest(result: RunResult) -> str:
         # runs from before tracing existed.
         **({"trace": result.trace.digest()}
            if result.trace is not None else {}),
+        # The fidelity policy and its deterministic runtime aggregates
+        # (mode residency, transition counts) join the digest whenever
+        # the analytic path is enabled; pure packet runs hash identically
+        # to runs from before hybrid fidelity existed.
+        **({"fidelity": [list(result.config.fidelity.digest_view()),
+                         sorted(result.fidelity.items())]}
+           if result.fidelity is not None else {}),
         "faults": [(spec.kind, list(spec.link), spec.at_ns, spec.rate_bps,
                     spec.loss_rate) for spec in result.config.faults],
         "drops": sorted(metrics.counters.drops.items()),

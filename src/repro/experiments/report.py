@@ -27,6 +27,9 @@ Schema (``to_dict()``), by section:
   when tracing was off.
 - ``profile`` — wall seconds per run phase (build/run/finalize).
   Nondeterministic; excluded from digests.
+- ``fidelity`` — hybrid-fidelity section (mode, link counts, analytic
+  residency, transition/round counters; see :mod:`repro.net.fidelity`)
+  or None in pure packet mode.
 """
 
 from __future__ import annotations
@@ -56,6 +59,7 @@ class RunReport:
     telemetry: Optional[Dict[str, object]] = None
     trace: Optional[Dict[str, object]] = None
     profile: Dict[str, float] = field(default_factory=dict)
+    fidelity: Optional[Dict[str, object]] = None
 
     @classmethod
     def from_result(cls, result: "RunResult") -> "RunReport":
@@ -107,7 +111,9 @@ class RunReport:
         return cls(summary=summary, run=run,
                    drops=sorted(counters.drops.items()),
                    telemetry=telemetry, trace=trace,
-                   profile=dict(result.profile))
+                   profile=dict(result.profile),
+                   fidelity=(dict(result.fidelity)
+                             if result.fidelity is not None else None))
 
     def row(self) -> Dict[str, object]:
         """The paper-figure summary row (historical ``RunResult.row()``)."""
@@ -122,6 +128,7 @@ class RunReport:
             "telemetry": dict(self.telemetry) if self.telemetry else None,
             "trace": dict(self.trace) if self.trace else None,
             "profile": dict(self.profile),
+            "fidelity": dict(self.fidelity) if self.fidelity else None,
         }
 
 

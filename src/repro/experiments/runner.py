@@ -22,6 +22,7 @@ from repro.forwarding.vertigo import VertigoPolicy
 from repro.host.host import HostStackConfig
 from repro.metrics.collector import MetricsCollector
 from repro.net.builder import Network, NetworkParams, build_network
+from repro.net.fidelity import FidelityController
 from repro.sim.engine import Engine
 from repro.sim.rng import RngRegistry
 from repro.trace import PhaseProfiler, TraceData, Tracer, TraceSampler
@@ -154,6 +155,10 @@ class RunResult:
     #: Wall seconds per run phase (build/run/finalize).  Nondeterministic
     #: by nature; excluded from digests and deterministic exports.
     profile: Dict[str, float] = field(default_factory=dict)
+    #: Fidelity-controller summary (mode residency, transitions) when the
+    #: analytic path was enabled; None in pure packet mode.  Deterministic
+    #: integers — part of the run digest.
+    fidelity: Optional[Dict[str, object]] = None
 
     @property
     def duration_ns(self) -> int:
@@ -176,7 +181,8 @@ class RunResult:
                                events_executed=self.engine.events_executed),
             bg_flows_generated=self.bg_flows_generated,
             queries_issued=self.queries_issued, telemetry=telemetry,
-            trace=self.trace, profile=dict(self.profile))
+            trace=self.trace, profile=dict(self.profile),
+            fidelity=self.fidelity)
 
     def report(self):
         """The unified :class:`~repro.experiments.report.RunReport`."""
@@ -240,6 +246,11 @@ def _run_experiment(config: ExperimentConfig) -> RunResult:
                                 metrics, stack, _policy_factory(config), rng,
                                 use_ranked_queues=use_ranked)
 
+        fidelity = None
+        if config.fidelity.active:
+            fidelity = FidelityController(engine, network, config.fidelity)
+            fidelity.install()
+
         flow_ids = itertools.count(1)
 
         def open_flow(src: int, dst: int, size: int, is_incast: bool = False,
@@ -259,6 +270,8 @@ def _run_experiment(config: ExperimentConfig) -> RunResult:
             sender = src_host.open_sender(
                 flow_id, dst, size,
                 on_complete=lambda: src_host.sender_done(flow_id))
+            if fidelity is not None:
+                fidelity.adopt(sender)
             sender.start()
 
         workload = config.workload
@@ -342,4 +355,6 @@ def _run_experiment(config: ExperimentConfig) -> RunResult:
         config=config, metrics=metrics, network=network, engine=engine,
         bg_flows_generated=background.flows_generated if background else 0,
         queries_issued=incast.queries_issued if incast else 0,
-        telemetry=telemetry, trace=trace_data, profile=profiler.report())
+        telemetry=telemetry, trace=trace_data, profile=profiler.report(),
+        fidelity=(fidelity.summary(engine.now)
+                  if fidelity is not None else None))

@@ -106,6 +106,9 @@ class Network:
         self.tx_ports: Dict[Tuple[str, str], Port] = {}
         self.port_of: Dict[Tuple[str, object], int] = {}
         self.dead_cables: Set[Tuple[str, str]] = set()
+        #: Installed fidelity controller, or None (pure packet mode;
+        #: see repro.net.fidelity).
+        self.fidelity = None
 
     def host(self, host_id: int) -> Host:
         return self.hosts[host_id]
@@ -137,6 +140,8 @@ class Network:
         forward, backward = self.cable_links(a, b)
         forward.set_up(up)
         backward.set_up(up)
+        if self.fidelity is not None:
+            self.fidelity.on_fault(a, b)
         key = cable_key(a, b)
         if a in self.switches and b in self.switches:
             if up:
@@ -153,6 +158,8 @@ class Network:
         forward, backward = self.cable_links(a, b)
         forward.set_rate(rate_bps)
         backward.set_rate(rate_bps)
+        if self.fidelity is not None:
+            self.fidelity.on_fault(a, b)
 
     def set_cable_loss(self, a: str, b: str, loss_rate: float,
                        loss_rng=None) -> None:
@@ -160,6 +167,8 @@ class Network:
         forward, backward = self.cable_links(a, b)
         forward.set_loss(loss_rate, loss_rng)
         backward.set_loss(loss_rate, loss_rng)
+        if self.fidelity is not None:
+            self.fidelity.on_fault(a, b)
 
     def rebuild_routes(self, strict: bool = False) -> None:
         """Recompute every switch FIB over the live (non-dead) edge set.
@@ -185,6 +194,8 @@ class Network:
                         port_of[(switch.name, name)] for name in names)
         for switch in self.switches.values():
             switch.topology_changed()
+        if self.fidelity is not None:
+            self.fidelity.on_topology_change()
 
 
 def build_network(engine: Engine, topology: Topology, params: NetworkParams,

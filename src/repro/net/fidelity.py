@@ -1,0 +1,496 @@
+"""Per-link fidelity controller: analytic fast path for quiet links.
+
+Most links in an incast experiment are uncongested most of the time, so
+their per-packet events are pure overhead — only the incast downlink and
+deflection neighbourhoods need packet fidelity.  The controller keeps a
+two-point mode lattice per *directed* link:
+
+- **flow (analytic)** — flows whose entire path is analytic skip the
+  dataplane: each congestion window round collapses into a single
+  completion event whose latency is computed (integer ns throughout)
+  from per-hop link rates, propagation delays, current queue occupancy,
+  and the number of analytic rounds concurrently in flight on each
+  link (the fair-share bottleneck).
+- **packet** — today's full store-and-forward path, unchanged.
+
+Links start analytic and *demote* to packet mode when touched by
+congestion or failure signals (share count at or above the threshold,
+queue depth at or above the ECN/buffer threshold, a deflection, an ECN
+mark, a wire drop, or a fault); in ``hybrid`` mode a periodic epoch tick
+*promotes* a demoted link back once it has been quiet for a full epoch
+(empty queue, idle transmitter, few shares, utilization below the
+threshold).  Links touched by fault injection are **pinned** to packet
+mode for the rest of the run.
+
+Boundary-conversion invariants (what keeps digests deterministic):
+
+- Mode only gates *eligibility*: packets in flight always complete
+  normally, and an analytic round, once scheduled, always runs to its
+  completion event (mirroring packets committed to the wire).  Flows
+  convert between modes only at round boundaries, when no bytes are
+  outstanding, so there is never partial in-flight state to translate.
+- A flow enters analytic mode only when every link on its (deterministic
+  flow-hashed) path is analytic and unpinned; any demotion on the path
+  converts it back to packets at its next round boundary.
+- All transition triggers are simulation events, all thresholds are
+  integers, and all latency arithmetic is integer nanoseconds, so a
+  fixed config yields a fixed event sequence and a fixed digest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import partial
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+from repro.net.packet import ACK_WIRE_BYTES
+from repro.trace import hooks as _trace_hooks
+
+_TRACE = _trace_hooks.register(__name__)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.builder import Network
+    from repro.net.link import Link, Port
+    from repro.sim.engine import Engine
+
+FIDELITY_MODES = ("packet", "flow", "hybrid")
+
+#: Knuth multiplicative hash constant; picks one FIB candidate per flow
+#: deterministically (mirrors the flow-hash idea the policies use).
+_PATH_HASH = 2654435761
+
+#: Safety bound on analytic path resolution (matches the dataplane's
+#: deflection hop budget in spirit; shortest paths are far shorter).
+_MAX_PATH_HOPS = 64
+
+
+@dataclass(frozen=True)
+class FidelityConfig:
+    """Fidelity policy block — every field is a digest input.
+
+    ``mode`` selects the engine: ``packet`` (no controller, today's
+    behaviour), ``flow`` (links never demote except by fault pinning),
+    or ``hybrid`` (demote on congestion signals, promote after a quiet
+    epoch).  Thresholds of 0 mean "auto": resolved deterministically
+    from the network parameters when the controller is installed.
+    """
+
+    mode: str = "packet"
+    #: Demote a link once this many concurrent flows share it.  Moderate
+    #: fan-in (the paper's incast degree included, and overlapping
+    #: queries) is *modelled* by the analytic fair share; this trigger
+    #: is for pathological convergence beyond what deflection absorbs,
+    #: where the fair-share model stops tracking the loss tail.  The
+    #: default is ~5x the paper's incast degree; lower it for systems
+    #: without burst absorption (e.g. plain ECMP baselines).
+    demote_shares: int = 64
+    #: Demote on queue depth >= this many bytes (0 = auto: the ECN
+    #: threshold if configured, else a quarter of the port buffer).
+    demote_queue_bytes: int = 0
+    #: Promotion epoch length (0 = auto: max(1 ms, 8 x base RTT)).
+    promote_epoch_ns: int = 0
+    #: Promote only when epoch utilization is at or below this (0-1000).
+    promote_util_permille: int = 400
+
+    def __post_init__(self) -> None:
+        if self.mode not in FIDELITY_MODES:
+            raise ValueError(
+                f"fidelity mode must be one of {FIDELITY_MODES}, "
+                f"got {self.mode!r}")
+        if self.demote_shares < 1:
+            raise ValueError("demote_shares must be >= 1")
+        if self.demote_queue_bytes < 0:
+            raise ValueError("demote_queue_bytes cannot be negative")
+        if self.promote_epoch_ns < 0:
+            raise ValueError("promote_epoch_ns cannot be negative")
+        if not 0 <= self.promote_util_permille <= 1000:
+            raise ValueError("promote_util_permille must be in [0, 1000]")
+
+    @property
+    def active(self) -> bool:
+        return self.mode != "packet"
+
+    def digest_view(self) -> Tuple:
+        """The canonical tuple fed into the run digest."""
+        return (self.mode, self.demote_shares, self.demote_queue_bytes,
+                self.promote_epoch_ns, self.promote_util_permille)
+
+
+class _LinkState:
+    """Controller-side state for one directed link."""
+
+    __slots__ = ("port", "analytic", "pinned", "shares", "active",
+                 "analytic_since", "analytic_ns", "last_epoch_bytes")
+
+    def __init__(self, port: "Port") -> None:
+        self.port = port
+        self.analytic = True
+        self.pinned = False
+        #: Registered (adopted, not yet stopped) flows routed over the
+        #: link — the fan-in signal the shares demotion trigger reads.
+        self.shares = 0
+        #: Committed analytic rounds currently in flight across the
+        #: link — the concurrency that sets the fair-share bottleneck.
+        self.active = 0
+        self.analytic_since = 0
+        self.analytic_ns = 0
+        self.last_epoch_bytes = 0
+
+
+class _FlowPath:
+    """The resolved directed-link path of one adopted flow."""
+
+    __slots__ = ("path", "generation", "round_path")
+
+    def __init__(self, path: Tuple["Link", ...], generation: int) -> None:
+        self.path = path
+        self.generation = generation
+        #: The path claimed by the round in flight (released when the
+        #: round completes), or None.  Kept separately from ``path`` so
+        #: a mid-round topology refresh cannot unbalance the counters.
+        self.round_path: Optional[Tuple["Link", ...]] = None
+
+
+class FidelityController:
+    """Owns per-link modes, flow adoption, and the promotion epoch."""
+
+    def __init__(self, engine: "Engine", network: "Network",
+                 config: FidelityConfig) -> None:
+        if not config.active:
+            raise ValueError("packet mode does not build a controller")
+        self.engine = engine
+        self.network = network
+        self.config = config
+        self._hybrid = config.mode == "hybrid"
+        self._state: Dict["Link", _LinkState] = {}
+        self._flows: Dict[int, _FlowPath] = {}
+        self._generation = 0
+        self._epoch_handle = None
+        # Resolved thresholds (filled by install()).
+        self.demote_queue_bytes = config.demote_queue_bytes
+        self.promote_epoch_ns = config.promote_epoch_ns
+        #: Modelled steady-state occupancy of a contended queue (the
+        #: ECN marking point DCTCP regulates around); resolved from the
+        #: network parameters by install().
+        self.standing_queue_bytes = 0
+        # Aggregate transition/usage counters (all digest-safe integers).
+        self.demotions = 0
+        self.promotions = 0
+        self.pinned = 0
+        self.analytic_rounds = 0
+        self.analytic_flows = 0
+
+    # -- installation ---------------------------------------------------------
+
+    def install(self) -> None:
+        """Wire the controller into every link, switch, and queue."""
+        network = self.network
+        params = network.params
+        if self.demote_queue_bytes == 0:
+            self.demote_queue_bytes = (params.ecn_threshold_bytes
+                                       or params.buffer_bytes // 4)
+        self.standing_queue_bytes = (params.ecn_threshold_bytes
+                                     or params.buffer_bytes // 4)
+        if self.promote_epoch_ns == 0:
+            self.promote_epoch_ns = max(1_000_000, 8 * params.base_rtt_ns())
+        for key, link in network.links.items():
+            port = network.tx_ports[key]
+            self._state[link] = _LinkState(port)
+            link.fidelity = self
+            port.queue.mark_hook = partial(self.on_ecn_mark, link)
+        for switch in network.switches.values():
+            switch.fidelity = self
+        network.fidelity = self
+        if self._hybrid:
+            self._epoch_handle = self.engine.schedule_every(
+                self.promote_epoch_ns, self._on_epoch)
+
+    # -- flow adoption --------------------------------------------------------
+
+    def adopt(self, sender) -> None:
+        """Register a starting flow: resolve its path and claim shares."""
+        path = self._resolve_path(sender.host.host_id, sender.dst,
+                                  sender.flow_id)
+        if path is None:
+            return
+        self._flows[sender.flow_id] = _FlowPath(path, self._generation)
+        for link in path:
+            state = self._state[link]
+            state.shares += 1
+            if state.shares >= self.config.demote_shares:
+                self._demote(link, "shares")
+        sender.fidelity = self
+
+    def flow_stopped(self, sender) -> None:
+        """Release the flow's shares (idempotent)."""
+        flow = self._flows.pop(sender.flow_id, None)
+        if flow is None:
+            return
+        for link in flow.path:
+            self._state[link].shares -= 1
+        if flow.round_path is not None:
+            for link in flow.round_path:
+                self._state[link].active -= 1
+            flow.round_path = None
+
+    def flow_analytic(self, sender) -> bool:
+        """True iff the flow may run its next round analytically."""
+        flow = self._flows.get(sender.flow_id)
+        if flow is None:
+            return False
+        if flow.generation != self._generation:
+            if not self._refresh_path(sender, flow):
+                return False
+        state = self._state
+        for link in flow.path:
+            if not state[link].analytic:
+                return False
+        return True
+
+    def _refresh_path(self, sender, flow: _FlowPath) -> bool:
+        """Re-resolve a path invalidated by a topology change."""
+        path = self._resolve_path(sender.host.host_id, sender.dst,
+                                  sender.flow_id)
+        if path is None:
+            # No surviving route: the flow falls back to packets (where
+            # the dataplane turns it into no_route drops and an abort).
+            self.flow_stopped(sender)
+            sender.fidelity = None
+            return False
+        if path != flow.path:
+            for link in flow.path:
+                self._state[link].shares -= 1
+            for link in path:
+                state = self._state[link]
+                state.shares += 1
+                if state.shares >= self.config.demote_shares:
+                    self._demote(link, "shares")
+            flow.path = path
+        flow.generation = self._generation
+        return True
+
+    def _resolve_path(self, src: int, dst: int,
+                      flow_id: int) -> Optional[Tuple["Link", ...]]:
+        """Walk the FIBs from src to dst picking one flow-hashed branch."""
+        link = self.network.hosts[src].nic.link
+        if link is None:
+            return None
+        path = [link]
+        node = link.dst
+        hops = 0
+        while hasattr(node, "fib"):
+            candidates = node.fib.get(dst, ())
+            if not candidates:
+                return None
+            index = (flow_id * _PATH_HASH) % len(candidates)
+            link = node.ports[candidates[index]].link
+            if link is None:
+                return None
+            path.append(link)
+            node = link.dst
+            hops += 1
+            if hops > _MAX_PATH_HOPS:
+                return None
+        return tuple(path)
+
+    # -- analytic round timing ------------------------------------------------
+
+    def analytic_round_ns(self, sender, round_wire_bytes: int,
+                          first_wire_bytes: int,
+                          pipelined: bool) -> Tuple[int, int]:
+        """(round completion, single-packet RTT) latencies, integer ns.
+
+        The RTT term pipelines one full packet across every hop (store
+        and forward), drains the queue bytes currently occupying each
+        hop, and returns an ACK over the same hops (the reverse channel
+        of every cable is rate/delay symmetric); the serialization term
+        drains the window's wire bytes at the flow's bottleneck fair
+        share ``min(rate // active_rounds)``.
+
+        Fair share divides by the rounds *in flight* on each link (this
+        one included), not by registered flows: a flow between rounds
+        consumes no capacity, and counting it would starve long flows
+        the way an idle reservation would.  The claim is released by
+        :meth:`round_finished` when the round's completion event fires.
+
+        The round completion is ``rtt + serialization`` for the first
+        round of a contiguous analytic stretch (the pipe starts empty)
+        but ``max(rtt, serialization)`` once ``pipelined``: a sliding
+        window overlaps successive rounds, so a backlogged flow delivers
+        continuously at its share (serialization-limited) and a
+        window-limited flow turns one window per RTT — charging the
+        pipe-refill RTT on every round would underestimate throughput
+        by ~one RTT per window.
+        """
+        flow = self._flows[sender.flow_id]
+        state = self._state
+        rtt_ns = 0
+        bottleneck_bps = 0
+        standing = self.standing_queue_bytes
+        for link in flow.path:
+            link_state = state[link]
+            link_state.active += 1
+            rate = link.rate_bps
+            rtt_ns += 2 * link.delay_ns
+            rtt_ns += ((first_wire_bytes + ACK_WIRE_BYTES)
+                       * 8 * 1_000_000_000) // rate
+            queue_bytes = link_state.port.queue.bytes
+            if link_state.active > 1:
+                # DCTCP-style control holds a contended queue near the
+                # marking threshold; charge that standing occupancy on
+                # hops where rounds actually overlap.
+                queue_bytes += standing
+            rtt_ns += (queue_bytes * 8 * 1_000_000_000) // rate
+            share_bps = rate // link_state.active
+            if bottleneck_bps == 0 or share_bps < bottleneck_bps:
+                bottleneck_bps = share_bps
+        flow.round_path = flow.path
+        if bottleneck_bps < 1:
+            bottleneck_bps = 1
+        rest = round_wire_bytes - first_wire_bytes
+        serial_ns = (rest * 8 * 1_000_000_000) // bottleneck_bps if rest > 0 \
+            else 0
+        if pipelined:
+            round_ns = serial_ns if serial_ns > rtt_ns else rtt_ns
+        else:
+            round_ns = rtt_ns + serial_ns
+        self.analytic_rounds += 1
+        return round_ns, rtt_ns
+
+    def round_finished(self, sender) -> None:
+        """Release the bottleneck claim of a completed analytic round."""
+        flow = self._flows.get(sender.flow_id)
+        if flow is None or flow.round_path is None:
+            return
+        state = self._state
+        for link in flow.round_path:
+            state[link].active -= 1
+        flow.round_path = None
+
+    def deliver_analytic(self, flow_id: int, dst: int, end: int) -> None:
+        """Advance the receiving endpoint past analytically-sent bytes."""
+        receiver = self.network.hosts[dst].receivers.get(flow_id)
+        if receiver is None:
+            return
+        was_completed = receiver.completed
+        receiver.on_analytic_bytes(end)
+        if receiver.completed and not was_completed:
+            self.analytic_flows += 1
+
+    # -- demotion triggers (dataplane hooks) ----------------------------------
+
+    def on_enqueue(self, port: "Port") -> None:
+        link = port.link
+        state = self._state.get(link)
+        if (state is not None and state.analytic
+                and port.queue.bytes >= self.demote_queue_bytes):
+            self._demote(link, "queue")
+
+    def on_deflection(self, from_link: "Link", to_link: "Link") -> None:
+        self._demote(from_link, "deflect")
+        if to_link is not from_link:
+            self._demote(to_link, "deflect")
+
+    def on_ecn_mark(self, link: "Link") -> None:
+        self._demote(link, "ecn")
+
+    def on_wire_drop(self, link: "Link") -> None:
+        self._demote(link, "drop")
+
+    def on_fault(self, a: str, b: str) -> None:
+        """Pin both directions of a faulted cable to packet mode."""
+        links = self.network.links
+        for key in ((a, b), (b, a)):
+            link = links.get(key)
+            if link is None:
+                continue
+            state = self._state.get(link)
+            if state is None:
+                continue
+            if not state.pinned:
+                state.pinned = True
+                self.pinned += 1
+            self._demote(link, "fault")
+
+    def on_topology_change(self) -> None:
+        """Invalidate every adopted flow's cached path."""
+        self._generation += 1
+
+    # -- mode transitions -----------------------------------------------------
+
+    def _demote(self, link: "Link", why: str) -> None:
+        if not self._hybrid and why != "fault":
+            return  # flow mode: only faults force packet fidelity
+        state = self._state.get(link)
+        if state is None or not state.analytic:
+            return
+        now = self.engine.now
+        state.analytic = False
+        state.analytic_ns += now - state.analytic_since
+        self.demotions += 1
+        if _TRACE is not None:
+            _TRACE.fid_mode(now, link.label, "packet", why)
+
+    def _promote(self, link: "Link") -> None:
+        state = self._state[link]
+        state.analytic = True
+        state.analytic_since = self.engine.now
+        self.promotions += 1
+        if _TRACE is not None:
+            _TRACE.fid_mode(self.engine.now, link.label, "flow", "quiet")
+
+    def _on_epoch(self) -> None:
+        """Promote every demoted link that stayed quiet this epoch."""
+        demote_shares = self.config.demote_shares
+        util_limit = self.config.promote_util_permille
+        epoch_ns = self.promote_epoch_ns
+        for link, state in self._state.items():
+            port = state.port
+            delta_bytes = port.bytes_sent - state.last_epoch_bytes
+            state.last_epoch_bytes = port.bytes_sent
+            if state.analytic or state.pinned:
+                continue
+            if state.shares >= demote_shares:
+                continue
+            if port.queue.bytes > 0 or port.busy:
+                continue
+            util_permille = (delta_bytes * 8 * 1000 * 1_000_000_000
+                             // (link.rate_bps * epoch_ns))
+            if util_permille <= util_limit:
+                self._promote(link)
+
+    # -- reporting ------------------------------------------------------------
+
+    def link_mode_counts(self) -> Tuple[int, int]:
+        """(analytic, packet) directed-link counts right now."""
+        n_analytic = 0
+        for state in self._state.values():
+            if state.analytic:
+                n_analytic += 1
+        return n_analytic, len(self._state) - n_analytic
+
+    def summary(self, now_ns: int) -> Dict[str, object]:
+        """Residency and transition aggregates (all deterministic ints)."""
+        total_analytic_ns = 0
+        analytic_links = 0
+        for state in self._state.values():
+            span = state.analytic_ns
+            if state.analytic:
+                span += now_ns - state.analytic_since
+                analytic_links += 1
+            total_analytic_ns += span
+        n_links = len(self._state)
+        denominator = n_links * now_ns
+        residency = (total_analytic_ns * 1000 // denominator
+                     if denominator > 0 else 1000)
+        return {
+            "mode": self.config.mode,
+            "links": n_links,
+            "analytic_links_at_end": analytic_links,
+            "analytic_residency_permille": residency,
+            "demotions": self.demotions,
+            "promotions": self.promotions,
+            "pinned_links": self.pinned,
+            "analytic_rounds": self.analytic_rounds,
+            "analytic_flows_completed": self.analytic_flows,
+        }

@@ -62,7 +62,7 @@ class Link:
 
     __slots__ = ("engine", "rate_bps", "delay_ns", "dst", "dst_port",
                  "loss_rate", "loss_rng", "on_loss", "on_drop", "losses",
-                 "up", "label")
+                 "up", "label", "fidelity")
 
     def __init__(self, engine: Engine, rate_bps: int, delay_ns: int,
                  dst: Device, dst_port: int, *, loss_rate: float = 0.0,
@@ -91,6 +91,9 @@ class Link:
         #: Directed-channel name (``src->dst``), the trace identity for
         #: wire drops.  Stamped by the network builder.
         self.label = label
+        #: Fidelity controller observing wire drops, or None (pure
+        #: packet mode; see repro.net.fidelity).
+        self.fidelity = None
 
     # -- runtime rewiring (fault injection) -----------------------------------
 
@@ -121,6 +124,8 @@ class Link:
         if not self.up:
             if self.on_drop is not None:
                 self.on_drop(packet, "link_down")
+            if self.fidelity is not None:
+                self.fidelity.on_wire_drop(self)
             if _TRACE is not None and _TRACE.packets:
                 _TRACE.pkt_drop(self.engine.now, self.label, "link_down",
                                 packet)
@@ -132,6 +137,8 @@ class Link:
                 self.on_loss(packet)
             if self.on_drop is not None:
                 self.on_drop(packet, "link_loss")
+            if self.fidelity is not None:
+                self.fidelity.on_wire_drop(self)
             if _TRACE is not None and _TRACE.packets:
                 _TRACE.pkt_drop(self.engine.now, self.label, "link_loss",
                                 packet)

@@ -105,6 +105,9 @@ class _BoundedQueue:
         self.stats = QueueStats()
         #: Owning node name, stamped by the builder/host; trace identity.
         self.label = ""
+        #: Fidelity demotion callback fired on each ECN mark, or None
+        #: (pure packet mode; set by repro.net.fidelity).
+        self.mark_hook = None
 
     def fits(self, packet: Packet) -> bool:
         if self.pool is not None:
@@ -123,6 +126,8 @@ class _BoundedQueue:
                 and self.bytes >= self.ecn_threshold_bytes):
             packet.ecn_ce = True
             self.stats.ecn_marked += 1
+            if self.mark_hook is not None:
+                self.mark_hook()
             if _TRACE is not None and _TRACE.packets:
                 _TRACE.pkt_ecn(now_ns, self.label, packet)
         self.stats.record_occupancy(now_ns, self.bytes)

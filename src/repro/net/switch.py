@@ -45,6 +45,9 @@ class Switch:
         #: dst host id -> tuple of candidate (shortest-path) egress ports.
         self.fib: Dict[int, Tuple[int, ...]] = {}
         self.policy = None  # set by the network builder
+        #: Fidelity controller observing congestion signals, or None
+        #: (pure packet mode; see repro.net.fidelity).
+        self.fidelity = None
         self._switch_ports: Optional[Tuple[int, ...]] = None
 
     # -- construction --------------------------------------------------------
@@ -129,7 +132,10 @@ class Switch:
         self.counters.forwarded += 1
         if _TRACE is not None and _TRACE.packets:
             _TRACE.pkt_enqueue(self.engine.now, self.name, port_index, packet)
-        self.ports[port_index].enqueue(packet)
+        port = self.ports[port_index]
+        port.enqueue(packet)
+        if self.fidelity is not None:
+            self.fidelity.on_enqueue(port)
 
     def deflected(self, packet: Packet, from_port: int, to_port: int) -> None:
         """Account (and trace) one deflection decided by the policy.
@@ -143,6 +149,9 @@ class Switch:
         if _TRACE is not None and _TRACE.packets:
             _TRACE.pkt_deflect(self.engine.now, self.name, from_port,
                                to_port, packet)
+        if self.fidelity is not None:
+            self.fidelity.on_deflection(self.ports[from_port].link,
+                                        self.ports[to_port].link)
 
     def drop(self, packet: Packet, reason: str) -> None:
         self.counters.drops[reason] += 1

@@ -21,6 +21,11 @@ a regression trajectory:
 4. **Static-analyzer wall clock** — the multi-pass ``repro lint`` over
    ``src``, cold and cache-warm, so CI lint latency is tracked like any
    other perf number.
+5. **Hybrid-fidelity speedup** — the reference experiment re-run with
+   ``--fidelity hybrid`` (:mod:`repro.net.fidelity`): wall clock,
+   events, and the wall-clock speedup over the packet-mode run from
+   step 2, plus a digest-determinism check (the same hybrid config run
+   twice, serially and in a worker process, must produce one digest).
 
 ``--quick`` shrinks every measurement for CI smoke use; ``--profile``
 prints the top of a cProfile run over the experiment for hot-path work.
@@ -120,6 +125,43 @@ def measure_experiment(sim_time_ns: int,
         **({"trace_level": trace_level,
             "trace_records": sum(result.trace.counts().values())}
            if result.trace is not None else {}),
+    }
+
+
+def measure_hybrid(sim_time_ns: int,
+                   packet_wall_s: float) -> Dict[str, object]:
+    """Reference experiment under ``--fidelity hybrid``.
+
+    Reports the wall clock, event count, and speedup over the packet
+    run measured by :func:`measure_experiment`, and verifies digest
+    determinism: the identical hybrid config run a second time serially
+    and once in a worker process must all hash to one digest.
+    """
+    import dataclasses
+
+    from repro.experiments.digest import run_digest
+    from repro.net.fidelity import FidelityConfig
+
+    config = dataclasses.replace(reference_config(sim_time_ns=sim_time_ns),
+                                 fidelity=FidelityConfig(mode="hybrid"))
+    start = time.perf_counter()
+    result = run_experiment(config)
+    wall = time.perf_counter() - start
+    digest = run_digest(result)
+    repeat = run_digest(run_experiment(config))
+    worker = run_digest(run_many([config], jobs=2)[0])
+    events = result.engine.events_executed
+    fidelity = result.fidelity or {}
+    return {
+        "sim_ms": sim_time_ns // MILLISECOND,
+        "wall_s": round(wall, 4),
+        "events_executed": events,
+        "events_per_sec": round(events / wall) if wall else None,
+        "speedup": round(packet_wall_s / wall, 2) if wall else None,
+        "analytic_residency_permille":
+            fidelity.get("analytic_residency_permille"),
+        "digest": digest,
+        "digest_deterministic": digest == repeat == worker,
     }
 
 
@@ -251,12 +293,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 2
 
     report: Dict[str, object] = {
-        "schema": 1,
+        "schema": 2,
         "mode": "quick" if quick else "full",
         "cpus": os.cpu_count(),
     }
 
-    print(f"[1/4] kernel: {n_events} events x {args.repeats} repeats ...",
+    print(f"[1/5] kernel: {n_events} events x {args.repeats} repeats ...",
           file=sys.stderr)
     event_path = _best_of(lambda: time_kernel(n_events, fast=False),
                           args.repeats)
@@ -268,7 +310,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "fast_path_events_per_sec": round(n_events / fast_path),
     }
 
-    print("[2/4] reference experiment ...", file=sys.stderr)
+    print("[2/5] reference experiment ...", file=sys.stderr)
     report["experiment"] = measure_experiment(exp_sim_ns)
 
     if args.trace_overhead:
@@ -290,14 +332,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.skip_sweep:
         report["sweep"] = None
     else:
-        print(f"[3/4] reference sweep, serial vs --jobs {jobs} ...",
+        print(f"[3/5] reference sweep, serial vs --jobs {jobs} ...",
               file=sys.stderr)
         points = SWEEP_POINTS[:4] if quick else SWEEP_POINTS
-        report["sweep"] = measure_sweep(jobs, sweep_sim_ns, points)
+        sweep = measure_sweep(jobs, sweep_sim_ns, points)
+        if report["cpus"] == 1:
+            # One visible CPU: serial and parallel wall times measure
+            # the same machine resource, so the ratio is scheduling
+            # noise, not a parallel-path speedup.
+            sweep["speedup_note"] = (
+                "unverifiable: 1 CPU visible; use the serial-vs-parallel "
+                "digest-equality tests to validate the parallel path")
+        report["sweep"] = sweep
 
-    print("[4/4] static analyzer over src (cold + cache-warm) ...",
+    print("[4/5] static analyzer over src (cold + cache-warm) ...",
           file=sys.stderr)
     report["lint"] = measure_lint()
+
+    print("[5/5] hybrid-fidelity reference experiment ...", file=sys.stderr)
+    report["hybrid"] = measure_hybrid(exp_sim_ns,
+                                      report["experiment"]["wall_s"])
 
     if args.profile:
         print(profile_experiment(exp_sim_ns))
@@ -312,11 +366,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
           f"({experiment['wall_s']}s wall)")
     sweep_report = report["sweep"]
     if sweep_report:
+        qualifier = (" [unverifiable on 1 CPU]"
+                     if "speedup_note" in sweep_report else "")
         print(f"sweep: {sweep_report['points']} points, serial "
               f"{sweep_report['serial_wall_s']}s, --jobs "
               f"{sweep_report['jobs']} {sweep_report['parallel_wall_s']}s "
-              f"-> {sweep_report['speedup']}x "
+              f"-> {sweep_report['speedup']}x{qualifier} "
               f"({report['cpus']} CPU(s) visible)")
+
+    hybrid_report = report["hybrid"]
+    print(f"hybrid: {hybrid_report['wall_s']}s wall, "
+          f"{hybrid_report['events_executed']:,} events -> "
+          f"{hybrid_report['speedup']}x vs packet, digests "
+          f"{'stable' if hybrid_report['digest_deterministic'] else 'UNSTABLE'}")
 
     lint_report = report["lint"]
     print(f"lint: {lint_report['files']} files, "
@@ -330,6 +392,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                   f"{numbers['trace_records']:,} records")
 
     failures: List[str] = []
+    if not hybrid_report["digest_deterministic"]:
+        # Never a tolerance question: a hybrid run whose digest moves
+        # between identical invocations is broken regardless of speed.
+        print("hybrid digest determinism: FAIL", file=sys.stderr)
+        failures.append("hybrid_digest_deterministic")
     if baseline is not None:
         base_kernel = baseline.get("kernel") or {}
         for key in ("event_path_events_per_sec",
@@ -345,12 +412,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                   f"{round(floor):,}) {verdict}")
             if new < floor:
                 failures.append(key)
-        if failures:
-            print(f"--check-baseline: kernel regression beyond "
-                  f"{args.tolerance:.0%} tolerance: {failures} "
-                  f"(baseline {args.out} left untouched)",
-                  file=sys.stderr)
-            return 1
+        base_hybrid = baseline.get("hybrid") or {}
+        base_speedup = base_hybrid.get("speedup")
+        if base_speedup and base_hybrid.get("sim_ms") != \
+                hybrid_report["sim_ms"]:
+            # Speedup grows with the simulated horizon (fixed build
+            # costs amortize), so a --quick run is not comparable to a
+            # full-mode baseline; only gate like against like.
+            print(f"baseline hybrid speedup: skipped (baseline at "
+                  f"{base_hybrid.get('sim_ms')} sim-ms, this run at "
+                  f"{hybrid_report['sim_ms']})")
+            base_speedup = None
+        if base_speedup:
+            new_speedup = hybrid_report["speedup"]
+            # Wall-clock ratios are noisier than throughput numbers;
+            # allow double the kernel tolerance before failing.
+            floor = base_speedup * (1.0 - 2 * args.tolerance)
+            verdict = "OK" if new_speedup >= floor else "FAIL"
+            print(f"baseline hybrid speedup: {base_speedup}x -> "
+                  f"{new_speedup}x (floor {floor:.2f}x) {verdict}")
+            if new_speedup < floor:
+                failures.append("hybrid_speedup")
+    if failures:
+        print(f"--check-baseline: regression beyond "
+              f"{args.tolerance:.0%} tolerance: {failures} "
+              f"(baseline {args.out} left untouched)",
+              file=sys.stderr)
+        return 1
 
     with open(args.out, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)

@@ -86,6 +86,41 @@ class Event:
         return f"<Event t={self.time} prio={self.priority}{state} {self.fn}>"
 
 
+class RecurringEvent:
+    """A self-rescheduling periodic callback (see Engine.schedule_every)."""
+
+    __slots__ = ("engine", "interval_ns", "fn", "args", "priority", "_event",
+                 "stopped")
+
+    def __init__(self, engine: "Engine", interval_ns: int,
+                 fn: Callable[..., Any], args: tuple, priority: int) -> None:
+        self.engine = engine
+        self.interval_ns = interval_ns
+        self.fn = fn
+        self.args = args
+        self.priority = priority
+        self._event: Optional[Event] = None
+        self.stopped = False
+
+    def _arm(self) -> None:
+        self._event = self.engine.schedule(self.interval_ns, self._fire,
+                                           priority=self.priority)
+
+    def _fire(self) -> None:
+        if self.stopped:
+            return
+        self._arm()
+        self.fn(*self.args)
+
+    def stop(self) -> None:
+        if self.stopped:
+            return
+        self.stopped = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+
 class Engine:
     """Discrete-event simulation engine with an integer nanosecond clock."""
 
@@ -150,6 +185,20 @@ class Engine:
                     priority: int = 0) -> Event:
         """Schedule ``fn(*args)`` at an absolute simulation time."""
         return self.schedule(time - self.now, fn, *args, priority=priority)
+
+    def schedule_every(self, interval_ns: int, fn: Callable[..., Any],
+                       *args: Any, priority: int = 0) -> "RecurringEvent":
+        """Run ``fn(*args)`` every ``interval_ns`` ns until stopped.
+
+        The first firing is one interval from now.  Each tick re-arms
+        itself *before* invoking the callback, so a callback may stop
+        the returned handle to terminate the series.
+        """
+        if interval_ns <= 0:
+            raise ValueError("recurring interval must be positive")
+        handle = RecurringEvent(self, interval_ns, fn, args, priority)
+        handle._arm()
+        return handle
 
     def _compact(self) -> None:
         """Drop cancelled tombstones and re-heapify.

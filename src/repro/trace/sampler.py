@@ -92,4 +92,10 @@ class TraceSampler:
                     now, host.name, flow_id, round(sender.cwnd, 6),
                     sender.srtt_ns, len(sender._segments),
                     sender.snd_una, sender.cc_state())
+        fidelity = self.network.fidelity
+        if fidelity is not None:
+            analytic_links, packet_links = fidelity.link_mode_counts()
+            tracer.sample_fid(now, analytic_links, packet_links,
+                              fidelity.demotions, fidelity.promotions,
+                              fidelity.analytic_rounds)
         self._pending = self.engine.schedule(self.period_ns, self._tick)

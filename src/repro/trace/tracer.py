@@ -60,12 +60,17 @@ EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
     "query.end": ("query", "qct_ns"),
     "cc.fastrtx": ("flow",),
     "cc.rto": ("flow", "rto_ns"),
+    # Fidelity-mode transitions (both levels; see repro.net.fidelity).
+    "fid.mode": ("link", "mode", "why"),
     # Engine run-loop spans (both levels; sim-time only, no wall clock).
     "engine.span": ("t_start", "events"),
     # Periodic samples (both levels, when a sample period is configured).
     "sample.port": ("node", "port", "qbytes", "qpkts", "util"),
     "sample.flow": ("node", "flow", "cwnd", "srtt_ns", "inflight",
                     "acked", "cc"),
+    # Per-tick fidelity-residency aggregate (hybrid/flow modes only).
+    "sample.fid": ("analytic_links", "packet_links", "demotions",
+                   "promotions", "analytic_rounds"),
 }
 
 #: Kinds recorded only at ``level="packet"``.
@@ -246,6 +251,10 @@ class Tracer:
         self.emitted_events += 1
         self._events.append(("cc.rto", t, flow, rto_ns))
 
+    def fid_mode(self, t: int, link: str, mode: str, why: str) -> None:
+        self.emitted_events += 1
+        self._events.append(("fid.mode", t, link, mode, why))
+
     def engine_span(self, t_end: int, t_start: int, events: int) -> None:
         self.emitted_events += 1
         self._events.append(("engine.span", t_end, t_start, events))
@@ -264,6 +273,13 @@ class Tracer:
         self.emitted_samples += 1
         self._samples.append(("sample.flow", t, node, flow, cwnd, srtt_ns,
                               inflight, acked, cc))
+
+    def sample_fid(self, t: int, analytic_links: int, packet_links: int,
+                   demotions: int, promotions: int,
+                   analytic_rounds: int) -> None:
+        self.emitted_samples += 1
+        self._samples.append(("sample.fid", t, analytic_links, packet_links,
+                              demotions, promotions, analytic_rounds))
 
     # -- teardown --------------------------------------------------------------
 

@@ -21,6 +21,7 @@ from typing import Callable, Dict, Optional
 from repro.metrics.collector import MetricsCollector
 from repro.net.packet import (
     DEFAULT_MSS,
+    HEADER_BYTES,
     Packet,
     PacketKind,
     ack_packet,
@@ -121,6 +122,16 @@ class FlowSender:
         self._rto_timer = Timer(engine, self._on_rto)
         self._pace_timer = Timer(engine, self._maybe_send)
 
+        #: Fidelity controller adopting this flow, or None (pure packet
+        #: mode).  Set by the controller, cleared when the flow stops.
+        self.fidelity = None
+        #: End sequence of the analytic round in flight, or None.
+        self._analytic_round: Optional[int] = None
+        #: True once at least one analytic round completed with no real
+        #: transmission since: the sliding window is "warm", so the next
+        #: round overlaps the previous one instead of refilling the pipe.
+        self._analytic_pipelined = False
+
     # -- lifecycle ---------------------------------------------------------------
 
     def start(self) -> None:
@@ -129,6 +140,9 @@ class FlowSender:
     def stop(self) -> None:
         self._rto_timer.stop()
         self._pace_timer.stop()
+        if self.fidelity is not None:
+            self.fidelity.flow_stopped(self)
+            self.fidelity = None
 
     # -- congestion-control hooks (overridden by subclasses) ----------------------
 
@@ -169,6 +183,13 @@ class FlowSender:
     def _maybe_send(self) -> None:
         if self.completed or self.failed:
             return
+        if (self.fidelity is not None and self._analytic_round is None
+                and not self._segments and self.snd_nxt < self.size
+                and self.fidelity.flow_analytic(self)):
+            # Round boundary with nothing outstanding and a fully
+            # analytic path: collapse the next window into one event.
+            self._start_analytic_round()
+            return
         while (self.snd_nxt < self.size
                and self._inflight_packets() < self._window_packets()):
             gap = self.pacing_gap_ns()
@@ -182,6 +203,9 @@ class FlowSender:
             self.snd_nxt += payload
 
     def _transmit(self, seq: int, payload: int, tx_count: int) -> None:
+        # Any real transmission breaks the analytic stretch: the next
+        # analytic round starts from an empty pipe again.
+        self._analytic_pipelined = False
         now = self.engine.now
         packet = data_packet(self.host.host_id, self.dst, self.flow_id, seq,
                              payload, mss=self.config.mss,
@@ -212,10 +236,77 @@ class FlowSender:
             return
         self._transmit(segment.seq, segment.payload, segment.tx_count + 1)
 
+    # -- analytic fast path (hybrid fidelity) -------------------------------------
+
+    def _start_analytic_round(self) -> None:
+        """Collapse the next congestion window into one completion event.
+
+        Only reachable at a round boundary (no outstanding segments), so
+        there is no in-flight state to convert.  The round is committed:
+        it always runs to completion even if a path link demotes
+        meanwhile, exactly like packets already on the wire; the flow
+        re-evaluates its mode at the next boundary.  Integer ns only —
+        checked by lint rule VR150.
+        """
+        fidelity = self.fidelity
+        start = self.snd_nxt
+        mss = self.config.mss
+        round_bytes = min(self._window_packets() * mss, self.size - start)
+        n_packets = (round_bytes + mss - 1) // mss
+        round_wire = round_bytes + n_packets * HEADER_BYTES
+        first_wire = min(mss, round_bytes) + HEADER_BYTES
+        round_ns, rtt_ns = fidelity.analytic_round_ns(
+            self, round_wire, first_wire, self._analytic_pipelined)
+        gap_ns = self.pacing_gap_ns()
+        if gap_ns > 0 and round_ns < n_packets * gap_ns:
+            round_ns = n_packets * gap_ns
+        end = start + round_bytes
+        self.snd_nxt = end
+        self._last_tx_ns = self.engine.now
+        self._analytic_round = end
+        self._rto_timer.stop()
+        self.engine.schedule_fast(round_ns, self._finish_analytic_round,
+                                  end, rtt_ns)
+
+    def _finish_analytic_round(self, end: int, rtt_ns: int) -> None:
+        """Deliver one analytic round: ACK clock, receiver bytes, CC."""
+        self._analytic_round = None
+        self._analytic_pipelined = True
+        if self.fidelity is not None:
+            self.fidelity.round_finished(self)
+        if self.completed or self.failed:
+            return
+        acked = end - self.snd_una
+        if acked <= 0:  # stale (straggler ACK advanced us further)
+            self._maybe_send()
+            return
+        self.snd_una = end
+        self._rto_streak = 0
+        self.dupacks = 0
+        self.backoff = 1
+        self._update_rtt(rtt_ns)
+        self.on_new_ack_cc(acked, rtt_ns, False)
+        self._clamp_cwnd()
+        fidelity = self.fidelity
+        if fidelity is not None:
+            fidelity.deliver_analytic(self.flow_id, self.dst, end)
+        if self.snd_una >= self.size:
+            self.completed = True
+            self.stop()
+            if self.on_complete is not None:
+                self.on_complete()
+            return
+        self._maybe_send()
+
     # -- ACK processing ----------------------------------------------------------
 
     def on_ack(self, packet: Packet) -> None:
         if self.completed or self.failed:
+            return
+        if self._analytic_round is not None:
+            # A straggler duplicate of an earlier packet round can raise
+            # an ACK mid-analytic-round; the round completion event is
+            # the single source of window advancement while it is armed.
             return
         if packet.ack_no > self.snd_una:
             self._on_new_ack(packet)
@@ -378,6 +469,22 @@ class FlowReceiver:
         done = self.rcv_nxt >= self.size
         self._ack_policy(packet, in_order=in_order, done=done)
         if done and not self.completed:
+            self.completed = True
+            self.metrics.flow_completed(self.flow_id, self.engine.now)
+            if self.on_complete is not None:
+                self.on_complete()
+
+    def on_analytic_bytes(self, end: int) -> None:
+        """Advance past bytes delivered by an analytic round (no ACK:
+        the sender's round-completion event is its own ACK clock)."""
+        if self.completed:
+            return
+        if end > self.rcv_nxt:
+            self.rcv_nxt = end
+        record = self.metrics.flows.get(self.flow_id)
+        if record is not None and record.end_ns is None:
+            record.bytes_delivered = min(self.rcv_nxt, self.size)
+        if self.rcv_nxt >= self.size:
             self.completed = True
             self.metrics.flow_completed(self.flow_id, self.engine.now)
             if self.on_complete is not None:

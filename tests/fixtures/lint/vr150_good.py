@@ -1,0 +1,14 @@
+"""VR150 good: the same computation kept integral end to end — scale
+to bit-nanoseconds first, then floor-divide by the fair share, so
+every intermediate on the analytic path is an exact integer.
+"""
+
+
+def _share_rate_bps(rate_bps, shares):
+    return rate_bps // shares
+
+
+def analytic_round_time(size_bytes, rate_bps, shares, base_rtt_ns):
+    share_bps = _share_rate_bps(rate_bps, shares)
+    serial_ns = (size_bytes * 8 * 1_000_000_000) // share_bps
+    return base_rtt_ns + serial_ns

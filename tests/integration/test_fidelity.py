@@ -1,0 +1,147 @@
+"""Digest discipline and accuracy validation for hybrid fidelity.
+
+The fidelity engine changes *how fast* a run executes, never *whether
+it is deterministic*: a fixed config yields a fixed digest, serial and
+parallel sweeps agree byte for byte, the ``fidelity`` config block is a
+digest input, and fault-forced demotions replay identically.
+
+The accuracy contract (documented in DESIGN.md, "Hybrid fidelity"):
+on the reference instance, hybrid QCT/FCT p50 stays within 25% and p99
+within 40% of the packet-mode run, compared over the flows/queries
+completed by *both* runs (the analytic path completes more of the
+tail, so comparing each run's own completed population would conflate
+censoring with model error).
+"""
+
+import dataclasses
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments import run_digest, run_many
+from repro.experiments.runner import run_experiment
+from repro.faults.spec import FaultSpec
+from repro.metrics.stats import percentile
+from repro.net.fidelity import FidelityConfig
+from repro.sim.units import MILLISECOND
+
+#: Validation tolerances (fractional) for the matched-population
+#: comparison; see DESIGN.md "Hybrid fidelity".
+P50_TOLERANCE = 0.25
+P99_TOLERANCE = 0.40
+
+
+def _config(mode, sim_ms=5, seed=1, faults=(), **fidelity_kwargs):
+    config = ExperimentConfig.bench_profile(
+        system="vertigo", transport="dctcp", bg_load=0.2,
+        incast_qps=60, incast_scale=6, sim_time_ns=sim_ms * MILLISECOND,
+        seed=seed, faults=faults)
+    return dataclasses.replace(
+        config, fidelity=FidelityConfig(mode=mode, **fidelity_kwargs))
+
+
+def _reference_config(mode):
+    """The perf harness's reference instance (50% bg + 25% incast)."""
+    config = ExperimentConfig.bench_profile(
+        system="vertigo", transport="dctcp", bg_load=0.5,
+        incast_load=0.25, incast_scale=12, sim_time_ns=40 * MILLISECOND,
+        seed=1)
+    return dataclasses.replace(config, fidelity=FidelityConfig(mode=mode))
+
+
+# -- digest discipline --------------------------------------------------------
+
+def test_hybrid_same_config_twice_is_byte_identical():
+    first = run_experiment(_config("hybrid"))
+    second = run_experiment(_config("hybrid"))
+    assert first.fidelity["analytic_rounds"] > 0  # fast path really ran
+    assert run_digest(first) == run_digest(second)
+
+
+def test_fidelity_block_is_a_digest_input():
+    digests = {
+        mode: run_digest(run_experiment(_config(mode)))
+        for mode in ("packet", "flow", "hybrid")
+    }
+    assert len(set(digests.values())) == 3
+    # Threshold changes inside the block move the digest too (they are
+    # policy inputs even when the transition counts end up equal).
+    tweaked = run_digest(run_experiment(_config("hybrid",
+                                                demote_shares=63)))
+    assert tweaked != digests["hybrid"]
+
+
+def test_packet_mode_carries_no_fidelity_section():
+    result = run_experiment(_config("packet"))
+    assert result.fidelity is None
+    assert result.report().to_dict()["fidelity"] is None
+
+
+def test_hybrid_sweep_serial_equals_parallel():
+    def configs():
+        return [_config("hybrid", seed=seed) for seed in (1, 2, 3)]
+
+    serial = [run_digest(r) for r in run_many(configs(), jobs=1)]
+    parallel = [run_digest(r) for r in run_many(configs(), jobs=2)]
+    assert serial == parallel
+    assert len(set(serial)) == 3  # distinct seeds really ran
+
+
+def test_fault_mid_flow_forces_demotion_and_stays_deterministic():
+    faults = (FaultSpec(kind="down", link=("spine0", "leaf0"),
+                        at_ns=2 * MILLISECOND),)
+
+    def run():
+        return run_experiment(_config("hybrid", faults=faults))
+
+    first, second = run(), run()
+    fidelity = first.fidelity
+    # The downed cable demoted (and pinned) links in both directions.
+    assert fidelity["demotions"] >= 1
+    assert fidelity["pinned_links"] >= 1
+    assert fidelity["analytic_links_at_end"] < fidelity["links"]
+    # ... and the whole run, conversions included, replays identically.
+    assert run_digest(first) == run_digest(second)
+
+
+def test_fault_pins_in_flow_mode_too():
+    faults = (FaultSpec(kind="down", link=("spine1", "leaf1"),
+                        at_ns=2 * MILLISECOND),)
+    result = run_experiment(_config("flow", faults=faults))
+    assert result.fidelity["pinned_links"] >= 1
+
+
+# -- accuracy validation (fidelity sweep) -------------------------------------
+
+def _matched_quantiles(packet_records, hybrid_records, attr):
+    packet_ns = {key: getattr(record, attr)
+                 for key, record in packet_records.items()
+                 if getattr(record, attr) is not None}
+    hybrid_ns = {key: getattr(record, attr)
+                 for key, record in hybrid_records.items()
+                 if getattr(record, attr) is not None}
+    matched = sorted(set(packet_ns) & set(hybrid_ns))
+    assert len(matched) >= 30, "matched population too small to compare"
+    packet_sorted = sorted(packet_ns[key] for key in matched)
+    hybrid_sorted = sorted(hybrid_ns[key] for key in matched)
+    return {
+        point: (percentile(packet_sorted, point),
+                percentile(hybrid_sorted, point))
+        for point in (50, 99)
+    }
+
+
+def test_fidelity_sweep_hybrid_matches_packet_within_tolerance():
+    packet = run_experiment(_reference_config("packet"))
+    hybrid = run_experiment(_reference_config("hybrid"))
+    assert hybrid.fidelity["analytic_residency_permille"] >= 900
+
+    tolerances = {50: P50_TOLERANCE, 99: P99_TOLERANCE}
+    for attr, records in (
+            ("fct_ns", (packet.metrics.flows, hybrid.metrics.flows)),
+            ("qct_ns", (packet.metrics.queries, hybrid.metrics.queries))):
+        quantiles = _matched_quantiles(records[0], records[1], attr)
+        for point, (packet_q, hybrid_q) in quantiles.items():
+            error = abs(hybrid_q - packet_q) / packet_q
+            assert error <= tolerances[point], (
+                f"{attr} p{point}: packet {packet_q} vs hybrid "
+                f"{hybrid_q} ({100 * error:.1f}% > "
+                f"{100 * tolerances[point]:.0f}% tolerance)")

@@ -21,6 +21,7 @@ CASES = [
     ("VR120", ["vr120_bad.py"], ["vr120_good.py"]),
     ("VR130", ["vr130_bad.py"], ["vr130_good.py"]),
     ("VR140", ["vr140_bad.py"], ["vr140_good.py"]),
+    ("VR150", ["vr150_bad.py"], ["vr150_good.py"]),
 ]
 
 
@@ -71,6 +72,19 @@ def test_vr130_flags_lambda_and_bound_method():
     messages = "\n".join(v.message for v in hits)
     assert "lambda" in messages
     assert "bound method" in messages
+
+
+def test_vr150_catches_floats_vr100_cannot_see():
+    hits = findings("VR150", ["vr150_bad.py"])
+    # Both intermediates fire even though neither target is *_ns-named
+    # (the helper's float division via its summary, and the inline one).
+    assert len(hits) == 2
+    messages = "\n".join(v.message for v in hits)
+    assert "'share'" in messages
+    assert "'serial'" in messages
+    assert "analytic" in messages
+    # ... and VR100 indeed cannot see either of them.
+    assert findings("VR100", ["vr150_bad.py"]) == []
 
 
 def test_vr140_reports_unguarded_use_only():

@@ -64,7 +64,7 @@ def test_report_profile_section(result):
 def test_report_to_dict_schema(result):
     view = result.report().to_dict()
     assert set(view) == {"row", "run", "drops", "telemetry", "trace",
-                         "profile"}
+                         "profile", "fidelity"}
     assert tuple(view["row"].keys()) == ROW_KEYS
 
 
