@@ -8,7 +8,8 @@ Orchestrates the whole pipeline the way a production analyzer does:
    VR140 (:mod:`repro.analysis.rules`), cached per file content hash;
 3. **project pass** — symbol table + call graph
    (:mod:`repro.analysis.callgraph`), unit dataflow to fixpoint
-   (:mod:`repro.analysis.dataflow`, VR100/VR150), and the reachability
+   (:mod:`repro.analysis.dataflow`, VR100/VR150/VR160), and the
+   reachability
    rules VR110–VR130, cached on the hash of all file hashes;
 4. **suppression** — path exemptions, legacy ``# noqa``, tracked
    ``# repro: lint-disable`` pragmas (unused ones surface as VR090),
@@ -37,6 +38,7 @@ from repro.analysis.dataflow import (
     build_summaries,
     check_vr100,
     check_vr150,
+    check_vr160,
 )
 from repro.analysis.lint import LintConfig, Violation, load_config
 from repro.analysis.sarif import to_sarif, write_sarif
@@ -60,7 +62,7 @@ ALL_HINTS: Dict[str, str] = {
 }
 
 #: Project-pass rules (need the whole tree).
-PROJECT_RULES = ("VR100", "VR110", "VR120", "VR130", "VR150")
+PROJECT_RULES = ("VR100", "VR110", "VR120", "VR130", "VR150", "VR160")
 
 DEFAULT_BASELINE = "lint-baseline.json"
 
@@ -160,12 +162,14 @@ def _project_findings(sources: Dict[str, str], trees: Dict[str, object],
     project = Project.from_sources(sources, trees)
     graph = CallGraph(project)
     findings: List[Violation] = []
-    if "VR100" in select or "VR150" in select:
+    if "VR100" in select or "VR150" in select or "VR160" in select:
         summaries = build_summaries(project, graph)
         if "VR100" in select:
             findings.extend(check_vr100(project, graph, summaries))
         if "VR150" in select:
             findings.extend(check_vr150(project, graph, summaries))
+        if "VR160" in select:
+            findings.extend(check_vr160(project, graph, summaries))
     if "VR110" in select:
         findings.extend(rules_mod.check_vr110(project, graph))
     if "VR120" in select:
@@ -336,7 +340,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         prog="repro lint",
         description="Multi-pass determinism & unit-discipline analyzer: "
                     "per-function rules VR001-VR006, whole-program "
-                    "call-graph/dataflow rules VR100-VR150.")
+                    "call-graph/dataflow rules VR100-VR160.")
     parser.add_argument("paths", nargs="*",
                         help="files or directories (default: "
                              "[tool.repro.lint] paths, else src)")

@@ -56,6 +56,7 @@ RULES_VR1XX: Dict[str, str] = {
     "VR130": "unpicklable callable submitted to the worker pool",
     "VR140": "trace hook not guarded by the zero-cost _TRACE pattern",
     "VR150": "float arithmetic inside analytic completion-time code",
+    "VR160": "float arithmetic inside PFC pause/threshold code",
 }
 
 HINTS_VR1XX: Dict[str, str] = {
@@ -71,6 +72,8 @@ HINTS_VR1XX: Dict[str, str] = {
              "identity test) so traced-off runs pay nothing",
     "VR150": "the analytic fast path feeds event timestamps: keep every "
              "intermediate integral (scale first, then floor-divide)",
+    "VR160": "PAUSE/resume scheduling and XOFF/XON thresholds feed the "
+             "integer-ns calendar: keep the arithmetic integral",
 }
 
 _RANDOM_DRAWS = frozenset({

@@ -28,6 +28,7 @@ from repro.experiments.runner import run_experiment
 from repro.experiments.sweeps import format_table, sweep
 from repro.faults import parse_faults
 from repro.net.fidelity import FIDELITY_MODES, FidelityConfig
+from repro.net.pfc import PfcConfig
 from repro.net.topology import FatTree
 from repro.runtime import SupervisorPolicy, run_supervised
 from repro.sim.units import MILLISECOND
@@ -44,11 +45,13 @@ _EPILOG = (
 def _add_experiment_arguments(parser: argparse.ArgumentParser) -> None:
     """The experiment knobs shared by ``run`` and ``sweep``."""
     parser.add_argument("--transport",
-                        choices=["reno", "tcp", "dctcp", "swift"],
+                        choices=["reno", "tcp", "dctcp", "swift", "dcqcn"],
                         default="dctcp",
                         help="transport; 'tcp' is an alias for 'reno' "
                              "(both select the Reno sender; rows and "
-                             "digests keep the name you passed)")
+                             "digests keep the name you passed); 'dcqcn' "
+                             "is the rate-based lossless-fabric control "
+                             "(pair with --pfc)")
     parser.add_argument("--bg-load", type=float, default=0.5,
                         help="background load fraction (default 0.5)")
     parser.add_argument("--incast-load", type=float, default=0.25,
@@ -71,6 +74,23 @@ def _add_experiment_arguments(parser: argparse.ArgumentParser) -> None:
                              "fast path on uncongested links, demoting to "
                              "packets under congestion), or 'flow' "
                              "(always analytic; fast but coarse)")
+    parser.add_argument("--pfc", action="store_true",
+                        help="lossless fabric: per-class PFC PAUSE with "
+                             "XOFF/XON thresholds (repro.net.pfc)")
+    parser.add_argument("--pfc-classes", type=int, default=1, metavar="N",
+                        help="priority-class lanes per port (default 1); "
+                             "flows map to class flow_id %% N")
+    parser.add_argument("--pfc-headroom", type=int, default=None,
+                        metavar="BYTES",
+                        help="PFC headroom above XOFF (default: auto, "
+                             "2 x BDP + 2 MTU — lossless; 0 drops "
+                             "post-XOFF arrivals)")
+    parser.add_argument("--demote-shares", type=int, default=None,
+                        metavar="N",
+                        help="hybrid fidelity: demote a link to packet "
+                             "mode above N active flow shares (default "
+                             "64; bounds the incast fan-in the analytic "
+                             "path absorbs, see EXPERIMENTS.md)")
     parser.add_argument("--sanitize", action="store_true",
                         help="run with the runtime invariant sanitizer "
                              "(repro.analysis.sanitize) enabled")
@@ -146,7 +166,17 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
     config.sanitize = args.sanitize
     config.faults = parse_faults(args.faults)
     config.trace = _trace_config_from_args(args)
-    config.fidelity = FidelityConfig(mode=args.fidelity)
+    if args.demote_shares is not None:
+        config.fidelity = FidelityConfig(mode=args.fidelity,
+                                         demote_shares=args.demote_shares)
+    else:
+        config.fidelity = FidelityConfig(mode=args.fidelity)
+    if args.pfc or args.pfc_classes > 1:
+        num_classes = args.pfc_classes
+        config.pfc = PfcConfig(
+            enabled=args.pfc, num_classes=num_classes,
+            priority_map=tuple(range(num_classes)),
+            headroom_bytes=args.pfc_headroom)
     return config
 
 

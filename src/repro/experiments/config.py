@@ -26,6 +26,7 @@ from repro.faults.spec import FaultSpec
 from repro.forwarding.vertigo import VertigoSwitchParams
 from repro.net.builder import NetworkParams
 from repro.net.fidelity import FidelityConfig
+from repro.net.pfc import PfcConfig
 from repro.net.topology import (
     FatTree,
     LeafSpine,
@@ -126,6 +127,10 @@ class ExperimentConfig:
     #: ``flow``/``hybrid`` enable the analytic fast path for flows whose
     #: links are uncongested.  Every field is a digest input.
     fidelity: FidelityConfig = field(default_factory=FidelityConfig)
+    #: Priority-class lanes and lossless PFC (:mod:`repro.net.pfc`).
+    #: The default (1 class, PFC off) leaves the datapath byte-identical
+    #: to the laneless one; any configured value joins the run digest.
+    pfc: PfcConfig = field(default_factory=PfcConfig)
 
     # -- profiles --------------------------------------------------------------------
 

@@ -45,6 +45,16 @@ def run_digest(result: RunResult) -> str:
         **({"fidelity": [list(result.config.fidelity.digest_view()),
                          sorted(result.fidelity.items())]}
            if result.fidelity is not None else {}),
+        # Priority lanes / PFC join the digest whenever the config is
+        # non-default: the lane structure, thresholds, pause aggregates,
+        # and class-keyed drops are all deterministic.  Default (1 lane,
+        # PFC off) runs hash identically to runs from before PFC existed.
+        **({"pfc": [list(result.config.pfc.digest_view()),
+                    (sorted(result.pfc.items())
+                     if result.pfc is not None else None),
+                    sorted([key[0], key[1], count] for key, count in
+                           metrics.counters.class_drops.items())]}
+           if result.config.pfc.configured else {}),
         "faults": [(spec.kind, list(spec.link), spec.at_ns, spec.rate_bps,
                     spec.loss_rate) for spec in result.config.faults],
         "drops": sorted(metrics.counters.drops.items()),

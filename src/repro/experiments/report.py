@@ -30,6 +30,12 @@ Schema (``to_dict()``), by section:
 - ``fidelity`` — hybrid-fidelity section (mode, link counts, analytic
   residency, transition/round counters; see :mod:`repro.net.fidelity`)
   or None in pure packet mode.
+- ``drops_by_class`` — the same drop counters keyed
+  ``(priority class, reason)``; summing over classes reproduces
+  ``drops`` exactly (see :mod:`repro.net.pfc`).
+- ``pfc`` — lossless-fabric section (gate count, pause events/time,
+  headroom drops, per-direction pause table; see :mod:`repro.net.pfc`)
+  or None when PFC is off.
 """
 
 from __future__ import annotations
@@ -60,6 +66,8 @@ class RunReport:
     trace: Optional[Dict[str, object]] = None
     profile: Dict[str, float] = field(default_factory=dict)
     fidelity: Optional[Dict[str, object]] = None
+    drops_by_class: List[tuple] = field(default_factory=list)
+    pfc: Optional[Dict[str, object]] = None
 
     @classmethod
     def from_result(cls, result: "RunResult") -> "RunReport":
@@ -113,7 +121,10 @@ class RunReport:
                    telemetry=telemetry, trace=trace,
                    profile=dict(result.profile),
                    fidelity=(dict(result.fidelity)
-                             if result.fidelity is not None else None))
+                             if result.fidelity is not None else None),
+                   drops_by_class=sorted(counters.class_drops.items()),
+                   pfc=(dict(result.pfc)
+                        if result.pfc is not None else None))
 
     def row(self) -> Dict[str, object]:
         """The paper-figure summary row (historical ``RunResult.row()``)."""
@@ -129,6 +140,9 @@ class RunReport:
             "trace": dict(self.trace) if self.trace else None,
             "profile": dict(self.profile),
             "fidelity": dict(self.fidelity) if self.fidelity else None,
+            "drops_by_class": [[list(key), count]
+                               for key, count in self.drops_by_class],
+            "pfc": dict(self.pfc) if self.pfc else None,
         }
 
 

@@ -23,6 +23,7 @@ from repro.host.host import HostStackConfig
 from repro.metrics.collector import MetricsCollector
 from repro.net.builder import Network, NetworkParams, build_network
 from repro.net.fidelity import FidelityController
+from repro.net.pfc import PfcController
 from repro.sim.engine import Engine
 from repro.sim.rng import RngRegistry
 from repro.trace import PhaseProfiler, TraceData, Tracer, TraceSampler
@@ -116,6 +117,22 @@ def resolve_transport_config(config: ExperimentConfig) -> TransportConfig:
             transport = transport.with_overrides(
                 min_rto_ns=fine_rto, init_rto_ns=min(transport.init_rto_ns,
                                                      8 * fine_rto))
+    if config.transport_name == "dcqcn":
+        # DCQCN rate knobs scale with the line rate the sender drives.
+        line_rate = config.network.host_rate_bps
+        overrides = {}
+        if transport.dcqcn_rate_bps <= 0:
+            overrides["dcqcn_rate_bps"] = line_rate
+        if transport.dcqcn_timer_ns <= 0:
+            # Increase period: a few base RTTs, so fast recovery spans
+            # roughly the feedback loop it is probing.
+            overrides["dcqcn_timer_ns"] = 2 * config.network.base_rtt_ns()
+        if transport.dcqcn_rate_ai_bps <= 0:
+            overrides["dcqcn_rate_ai_bps"] = max(1, line_rate // 200)
+        if transport.dcqcn_rate_hai_bps <= 0:
+            overrides["dcqcn_rate_hai_bps"] = max(1, line_rate // 20)
+        if overrides:
+            transport = transport.with_overrides(**overrides)
     if config.system.name == "dibs" and transport.fast_retransmit:
         # DIBS disables fast retransmit to tolerate deflection reordering
         # (paper §2), leaving RTOs as the only loss recovery.
@@ -159,6 +176,10 @@ class RunResult:
     #: analytic path was enabled; None in pure packet mode.  Deterministic
     #: integers — part of the run digest.
     fidelity: Optional[Dict[str, object]] = None
+    #: PFC-controller summary (pause events/time, headroom drops) when
+    #: PFC was enabled; None otherwise.  Deterministic integers — part
+    #: of the run digest together with the class-keyed drop counters.
+    pfc: Optional[Dict[str, object]] = None
 
     @property
     def duration_ns(self) -> int:
@@ -182,7 +203,7 @@ class RunResult:
             bg_flows_generated=self.bg_flows_generated,
             queries_issued=self.queries_issued, telemetry=telemetry,
             trace=self.trace, profile=dict(self.profile),
-            fidelity=self.fidelity)
+            fidelity=self.fidelity, pfc=self.pfc)
 
     def report(self):
         """The unified :class:`~repro.experiments.report.RunReport`."""
@@ -219,7 +240,7 @@ def _run_experiment(config: ExperimentConfig) -> RunResult:
 
         transport = resolve_transport_config(config)
         network_params = config.network
-        if config.transport_name == "dctcp" \
+        if config.transport_name in ("dctcp", "dcqcn") \
                 and network_params.ecn_threshold_bytes is None:
             network_params = replace(
                 network_params,
@@ -244,7 +265,15 @@ def _run_experiment(config: ExperimentConfig) -> RunResult:
         use_ranked = is_vertigo and system.vertigo_switch.scheduling
         network = build_network(engine, config.topology, network_params,
                                 metrics, stack, _policy_factory(config), rng,
-                                use_ranked_queues=use_ranked)
+                                use_ranked_queues=use_ranked, pfc=config.pfc)
+
+        pfc = None
+        if config.pfc.enabled:
+            pfc = PfcController(engine, config.pfc, network)
+            pfc.install()
+            network.pfc = pfc
+            for host in network.hosts:
+                host.enable_nic_backpressure()
 
         fidelity = None
         if config.fidelity.active:
@@ -307,7 +336,8 @@ def _run_experiment(config: ExperimentConfig) -> RunResult:
             from repro.telemetry import TelemetryMonitor
 
             telemetry = TelemetryMonitor(
-                engine, network, interval_ns=config.telemetry_interval_ns)
+                engine, network, interval_ns=config.telemetry_interval_ns,
+                pfc=pfc)
             telemetry.start()
 
         if config.faults:
@@ -357,4 +387,5 @@ def _run_experiment(config: ExperimentConfig) -> RunResult:
         queries_issued=incast.queries_issued if incast else 0,
         telemetry=telemetry, trace=trace_data, profile=profiler.report(),
         fidelity=(fidelity.summary(engine.now)
-                  if fidelity is not None else None))
+                  if fidelity is not None else None),
+        pfc=pfc.summary(engine.now) if pfc is not None else None)

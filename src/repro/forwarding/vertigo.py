@@ -29,7 +29,7 @@ from typing import List, Optional, Sequence
 
 from repro.forwarding.base import ForwardingPolicy
 from repro.net.packet import Packet
-from repro.net.queues import RankedQueue
+from repro.net.queues import ClassLaneQueue, RankedQueue
 from repro.net.switch import Switch
 
 #: Per-packet deflection budget; the hop limit is the real loop guard, this
@@ -85,9 +85,11 @@ class VertigoPolicy(ForwardingPolicy):
         """Insert into a full SRPT queue by displacing larger-RFS packets.
 
         The displaced packets (or the arriving packet itself, when its RFS
-        is the largest) become deflection candidates.
+        is the largest) become deflection candidates.  Under priority
+        lanes, displacement competes only within the packet's own class
+        lane — deflection never evicts traffic from another class.
         """
-        queue = self.switch.ports[port].queue
+        queue = self._ranked_lane(port, packet)
         assert isinstance(queue, RankedQueue)
         victims: List[Packet] = []
         while not queue.fits(packet):
@@ -134,9 +136,16 @@ class VertigoPolicy(ForwardingPolicy):
         # the smallest remaining flows keep their buffer space (§3.2).
         self._force_insert(chosen, packet)
 
+    def _ranked_lane(self, port: int, packet: Packet):
+        """The queue displacement operates on: the packet's class lane."""
+        queue = self.switch.ports[port].queue
+        if isinstance(queue, ClassLaneQueue):
+            return queue.lane_for(packet)
+        return queue
+
     def _force_insert(self, port: int, packet: Packet) -> None:
         switch = self.switch
-        queue = switch.ports[port].queue
+        queue = self._ranked_lane(port, packet)
         if not self.params.scheduling or not isinstance(queue, RankedQueue):
             switch.drop(packet, "congestion_drop")
             return

@@ -75,6 +75,15 @@ class Host:
 
         self.senders: Dict[int, FlowSender] = {}
         self.receivers: Dict[int, FlowReceiver] = {}
+        #: Flow → priority-class map (repro.net.pfc): packets of flow f
+        #: carry class ``priority_map[f % len(priority_map)]``.  None
+        #: (the default) leaves every packet in class 0 at zero cost.
+        self.priority_map = None
+        #: Lossless-edge backpressure (set by the runner when PFC is
+        #: enabled): senders whose next packet does not fit the NIC are
+        #: parked and woken FIFO as the NIC drains, instead of dropping.
+        self.nic_backpressure = False
+        self._parked_senders: list = []
 
     # -- wiring ---------------------------------------------------------------------
 
@@ -104,8 +113,54 @@ class Host:
         if self.marking is not None:
             self.marking.flow_done(flow_id)
 
+    def enable_nic_backpressure(self) -> None:
+        """Switch the edge from drop-at-NIC to park-and-wake (PFC mode).
+
+        A PAUSE from the ToR holds the NIC port; without backpressure
+        the transports keep pacing into the finite NIC queue and the
+        edge drops even though the fabric is lossless.  In PFC mode the
+        runner flips this on so the whole path, host to host, is
+        lossless.
+        """
+        self.nic_backpressure = True
+        self.nic.on_drain = self._nic_drained
+
+    #: NIC bytes kept free for control frames while senders are parked:
+    #: the host's receiver role must keep emitting ACKs (the never-
+    #: paused control class) even when parked data pins the queue.
+    NIC_CONTROL_RESERVE_BYTES = 16 * 1024
+
+    def nic_blocked(self, sender, wire_bytes: int) -> bool:
+        """Park ``sender`` if the NIC cannot absorb its next packet.
+
+        Returns True when the sender was parked (it must stop sending
+        and wait to be woken); always False when backpressure is off,
+        preserving the legacy drop-at-edge path byte for byte.
+        """
+        if not self.nic_backpressure:
+            return False
+        queue = self.nic.queue
+        limit = queue.capacity_bytes - self.NIC_CONTROL_RESERVE_BYTES
+        if queue.bytes + wire_bytes <= limit:
+            return False
+        if sender not in self._parked_senders:
+            self._parked_senders.append(sender)
+        return True
+
+    def _nic_drained(self) -> None:
+        """NIC freed bytes: wake parked senders in arrival order."""
+        if not self._parked_senders:
+            return
+        parked, self._parked_senders = self._parked_senders, []
+        for sender in parked:
+            if not (sender.completed or sender.failed):
+                sender.nic_unblocked()
+
     def send_packet(self, packet: Packet) -> None:
-        """Stack egress: mark (Vertigo) and enqueue on the NIC."""
+        """Stack egress: classify, mark (Vertigo), enqueue on the NIC."""
+        pmap = self.priority_map
+        if pmap is not None:
+            packet.pclass = pmap[packet.flow_id % len(pmap)]
         if self.marking is not None:
             self.marking.mark(packet)
         if self.nic.fits(packet):
@@ -113,7 +168,9 @@ class Host:
                 _TRACE.pkt_enqueue(self.engine.now, self.name, 0, packet)
             self.nic.enqueue(packet)
         else:
-            self.metrics.counters.drops["host_nic_overflow"] += 1
+            counters = self.metrics.counters
+            counters.drops["host_nic_overflow"] += 1
+            counters.class_drops[(packet.pclass, "host_nic_overflow")] += 1
             if _TRACE is not None and _TRACE.packets:
                 _TRACE.pkt_drop(self.engine.now, self.name,
                                 "host_nic_overflow", packet)

@@ -33,6 +33,10 @@ class NetworkCounters:
     retransmissions: int = 0          # transport re-sends
     aborted_flows: int = 0            # senders that hit the retry limit
     drops: Counter = field(default_factory=Counter)  # reason -> count
+    #: The same drops keyed (priority class, reason); summing over
+    #: classes reproduces ``drops`` exactly (tested).  Class 0 carries
+    #: everything when no priority map is configured.
+    class_drops: Counter = field(default_factory=Counter)
 
     @property
     def total_drops(self) -> int:

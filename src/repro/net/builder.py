@@ -22,7 +22,13 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 from repro.host.host import Host, HostStackConfig
 from repro.metrics.collector import MetricsCollector
 from repro.net.link import Link, Port
-from repro.net.queues import DropTailQueue, RankedQueue, SharedBufferPool
+from repro.net.pfc import PfcConfig
+from repro.net.queues import (
+    ClassLaneQueue,
+    DropTailQueue,
+    RankedQueue,
+    SharedBufferPool,
+)
 from repro.net.switch import DEFAULT_MAX_HOPS, Switch
 from repro.net.topology import Topology
 from repro.sim.engine import Engine
@@ -109,6 +115,8 @@ class Network:
         #: Installed fidelity controller, or None (pure packet mode;
         #: see repro.net.fidelity).
         self.fidelity = None
+        #: Installed PFC controller, or None (see repro.net.pfc).
+        self.pfc = None
 
     def host(self, host_id: int) -> Host:
         return self.hosts[host_id]
@@ -201,12 +209,20 @@ class Network:
 def build_network(engine: Engine, topology: Topology, params: NetworkParams,
                   metrics: MetricsCollector, stack: HostStackConfig,
                   policy_factory: PolicyFactory, rng: RngRegistry,
-                  use_ranked_queues: bool = False) -> Network:
+                  use_ranked_queues: bool = False,
+                  pfc: Optional[PfcConfig] = None) -> Network:
     """Instantiate and wire the whole network."""
     network = Network(engine, topology, params, metrics)
+    pfc_configured = pfc is not None and pfc.configured
+    if pfc_configured and params.shared_buffer_alpha is not None:
+        raise ValueError(
+            "PFC/priority lanes and shared-buffer (DT) switches are "
+            "mutually exclusive: PFC accounts buffers at the ingress, "
+            "DT at a shared egress pool")
 
     def count_wire_drop(packet, reason: str) -> None:
         metrics.counters.drops[reason] += 1
+        metrics.counters.class_drops[(packet.pclass, reason)] += 1
 
     def make_link(rate_bps: int, delay_ns: int, dst, dst_port: int,
                   name: str) -> Link:
@@ -220,6 +236,20 @@ def build_network(engine: Engine, topology: Topology, params: NetworkParams,
 
     pools: Dict[str, SharedBufferPool] = {}
 
+    # Per-lane egress capacity.  With PFC *enabled* the egress queues
+    # are effectively unbounded: every resident packet is charged to an
+    # ingress gate, so total occupancy is bounded by the sum of gate
+    # capacities and the only loss point is gate admission
+    # (``pfc_headroom``).  Priority lanes without PFC split the port
+    # buffer evenly instead.
+    num_lanes = pfc.num_classes if pfc_configured else 1
+    if pfc is not None and pfc.enabled:
+        lane_capacity = 1 << 60
+    elif num_lanes > 1:
+        lane_capacity = params.buffer_bytes // num_lanes
+    else:
+        lane_capacity = params.buffer_bytes
+
     def make_queue(switch_name: str):
         queue_cls = RankedQueue if use_ranked_queues else DropTailQueue
         pool = None
@@ -231,9 +261,15 @@ def build_network(engine: Engine, topology: Topology, params: NetworkParams,
                 pool.total_bytes = 0
                 pools[switch_name] = pool
             pool.expand(params.buffer_bytes)
-        queue = queue_cls(params.buffer_bytes,
-                          ecn_threshold_bytes=params.ecn_threshold_bytes,
-                          pool=pool)
+        if num_lanes > 1:
+            queue = ClassLaneQueue(
+                queue_cls(lane_capacity,
+                          ecn_threshold_bytes=params.ecn_threshold_bytes)
+                for _ in range(num_lanes))
+        else:
+            queue = queue_cls(lane_capacity,
+                              ecn_threshold_bytes=params.ecn_threshold_bytes,
+                              pool=pool)
         queue.label = switch_name
         return queue
 
@@ -242,7 +278,10 @@ def build_network(engine: Engine, topology: Topology, params: NetworkParams,
                                         max_hops=params.max_hops)
 
     for host_id in range(topology.n_hosts):
-        network.hosts.append(Host(engine, host_id, stack, metrics))
+        host = Host(engine, host_id, stack, metrics)
+        if pfc_configured and any(pfc.priority_map):
+            host.priority_map = pfc.priority_map
+        network.hosts.append(host)
 
     # (switch name, peer key) -> port index, where peer key is a switch
     # name or a host id.

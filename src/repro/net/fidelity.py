@@ -397,6 +397,16 @@ class FidelityController:
     def on_wire_drop(self, link: "Link") -> None:
         self._demote(link, "drop")
 
+    def on_pause(self, link: "Link") -> None:
+        """A PFC PAUSE hit this link's transmitter (repro.net.pfc).
+
+        A paused link demotes to packet fidelity like a faulted one —
+        the analytic fair-share model has no notion of a held
+        transmitter — but is not pinned: once traffic drains and the
+        link goes quiet it can promote back (hybrid mode).
+        """
+        self._demote(link, "pause")
+
     def on_fault(self, a: str, b: str) -> None:
         """Pin both directions of a faulted cable to packet mode."""
         links = self.network.links
@@ -419,8 +429,8 @@ class FidelityController:
     # -- mode transitions -----------------------------------------------------
 
     def _demote(self, link: "Link", why: str) -> None:
-        if not self._hybrid and why != "fault":
-            return  # flow mode: only faults force packet fidelity
+        if not self._hybrid and why not in ("fault", "pause"):
+            return  # flow mode: only faults/pauses force packet fidelity
         state = self._state.get(link)
         if state is None or not state.analytic:
             return

@@ -151,7 +151,7 @@ class Port:
     """An output port: queue + attached egress link + transmit loop."""
 
     __slots__ = ("engine", "owner", "index", "queue", "link", "busy",
-                 "bytes_sent", "packets_sent")
+                 "bytes_sent", "packets_sent", "_paused", "on_drain")
 
     def __init__(self, engine: Engine, owner: Device, index: int,
                  queue: "PortQueue") -> None:
@@ -163,6 +163,13 @@ class Port:
         self.busy = False
         self.bytes_sent = 0
         self.packets_sent = 0
+        #: PFC hold state: bitmask of paused priority classes (bit i set
+        #: = class i held by a downstream PAUSE).  0 when PFC is off.
+        self._paused = 0
+        #: Called whenever a packet leaves the queue (bytes freed).  Only
+        #: host NICs in lossless (PFC) mode set this, to wake transports
+        #: parked by edge backpressure; None everywhere else.
+        self.on_drain = None
 
     def attach(self, link: Link) -> None:
         self.link = link
@@ -186,11 +193,32 @@ class Port:
         """Restart the transmit loop (after a link comes back up)."""
         self._try_transmit()
 
+    def pfc_hold(self, pclass: int, hold: bool) -> None:
+        """PFC PAUSE/RESUME for one priority class (repro.net.pfc).
+
+        A held class stays queued; on a port with a plain (laneless)
+        queue any held class holds the whole port — documented
+        head-of-line blocking at the host NIC edge, never a drop.
+        """
+        if hold:
+            self._paused |= 1 << pclass
+        else:
+            self._paused &= ~(1 << pclass)
+            self._try_transmit()
+
     def _try_transmit(self) -> None:
         if self.busy or self.link is None or not self.link.up \
                 or not self.queue:
             return
-        packet = self.queue.pop(self.engine.now)
+        if self._paused:
+            pop_unpaused = getattr(self.queue, "pop_unpaused", None)
+            if pop_unpaused is None:
+                return  # laneless queue: any held class holds the port
+            packet = pop_unpaused(self._paused, self.engine.now)
+            if packet is None:
+                return  # every non-empty lane is held
+        else:
+            packet = self.queue.pop(self.engine.now)
         if _TRACE is not None and _TRACE.packets:
             _TRACE.pkt_dequeue(self.engine.now, self.owner.name, self.index,
                                packet)
@@ -198,10 +226,16 @@ class Port:
         tx_delay = transmission_delay_ns(packet.wire_bytes,
                                          self.link.rate_bps)
         self.engine.schedule_fast(tx_delay, self._tx_done, packet)
+        if self.on_drain is not None:
+            self.on_drain()
 
     def _tx_done(self, packet) -> None:
         self.busy = False
         self.bytes_sent += packet.wire_bytes
         self.packets_sent += 1
+        if packet.pfc_gate is not None:
+            # Store-and-forward: the packet leaves this switch now, so
+            # its PFC ingress-buffer charge is released (repro.net.pfc).
+            packet.pfc_gate.release(packet)
         self.link.deliver(packet)
         self._try_transmit()

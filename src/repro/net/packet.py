@@ -61,6 +61,15 @@ class Packet:
     hops: int = 0
     deflections: int = 0
 
+    # Priority-class lane (0 = highest priority; assigned at the sending
+    # host from the experiment's priority map) and PFC ingress-buffer
+    # accounting: the gate this packet is charged against at its current
+    # switch, and the bytes charged (0 = not charged).  Both stay inert
+    # (None/0) when PFC is not configured.
+    pclass: int = 0
+    pfc_gate: Optional[object] = None
+    pfc_held: int = 0
+
     uid: int = field(default_factory=lambda: next(_packet_uid))
 
     @property

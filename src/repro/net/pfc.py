@@ -1,0 +1,312 @@
+"""Priority flow control: per-class ingress accounting and PAUSE frames.
+
+Models 802.1Qbb-style PFC on top of the output-queued switch: every
+switch *ingress* (the receiving end of a directed link) owns one
+:class:`PfcGate` per priority class.  A gate charges each admitted packet
+against a virtual ingress buffer for as long as the packet is resident at
+the switch (queued or serializing — store-and-forward), and runs the
+XOFF/XON state machine:
+
+- occupancy crosses **XOFF** → send PAUSE: after one reverse-link
+  propagation delay the upstream transmitter holds that class
+  (:meth:`repro.net.link.Port.pfc_hold`).
+- occupancy drains to **XON** → send RESUME the same way.
+
+PAUSE/RESUME control frames are scheduled as integer-ns priority events
+(:data:`PAUSE_PRIORITY`, like fault events) so a hold lands before any
+same-instant packet arrival, and hold/resume pairs for one gate can
+never reorder (same delay, same priority, FIFO sequence numbers).
+
+Admission is the only loss point: a packet is always admitted while the
+gate is below XOFF (the crossing packet is what *triggers* the pause),
+and above XOFF it is admitted only into the configured **headroom**,
+sized by default to cover the in-flight bytes of the pause loop
+(2 x one-way BDP + 2 MTU).  With default headroom the fabric is
+lossless; with ``headroom_bytes=0`` the post-XOFF in-flight packets are
+dropped with reason ``pfc_headroom`` — both behaviours are tested.
+
+Egress queues are effectively unbounded when PFC is enabled: every
+switch-resident packet is charged to exactly one ingress gate, so total
+residency is bounded by the sum of gate capacities and tail-drop at the
+egress queue cannot occur.  Shared-buffer (DT) switches are mutually
+exclusive with PFC for this reason.
+
+The gate map is also the input for PFC *deadlock* detection: a cyclic
+buffer dependency shows up as a cycle in the waits-on graph over
+currently-paused switch-to-switch gates (:meth:`PfcController.paused_edges`),
+which the telemetry monitor watches for (``repro.telemetry``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.trace import hooks as _trace_hooks
+
+_TRACE = _trace_hooks.register(__name__)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.builder import Network
+    from repro.net.link import Port
+    from repro.net.packet import Packet
+    from repro.sim.engine import Engine
+
+#: PAUSE/RESUME control events run at the same elevated priority as
+#: fault events: ahead of any packet event scheduled for the same
+#: instant, so a hold takes effect before the next same-tick dequeue.
+PAUSE_PRIORITY = -1
+
+#: Wire MTU used by the default headroom rule (full-size data segment).
+MTU_WIRE_BYTES = 1500
+
+
+@dataclass(frozen=True)
+class PfcConfig:
+    """Priority-class lanes and (optionally) lossless PFC.
+
+    ``num_classes`` alone splits every switch egress queue into strict-
+    priority lanes (lane 0 drains first); ``enabled`` additionally turns
+    on the per-ingress XOFF/XON PAUSE machinery.  All byte thresholds
+    are integers; 0 (or None for headroom) means "derive from the
+    network parameters" (:func:`resolve_thresholds`).
+    """
+
+    enabled: bool = False
+    num_classes: int = 1
+    #: Flow → class map: a flow with id ``f`` uses class
+    #: ``priority_map[f % len(priority_map)]`` for every packet (data
+    #: and ACKs).  The default maps everything to class 0.
+    priority_map: Tuple[int, ...] = (0,)
+    xoff_bytes: int = 0            # 0 = auto: buffer / (2 * num_classes)
+    xon_bytes: int = 0             # 0 = auto: xoff / 2
+    #: None = auto (2 x one-way BDP + 2 MTU, lossless); 0 is honoured
+    #: literally and *does* drop post-XOFF arrivals (reason
+    #: ``pfc_headroom``).
+    headroom_bytes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.num_classes < 1:
+            raise ValueError("num_classes must be >= 1")
+        if not self.priority_map:
+            raise ValueError("priority_map cannot be empty")
+        for pclass in self.priority_map:
+            if not 0 <= pclass < self.num_classes:
+                raise ValueError(
+                    f"priority_map entry {pclass} outside "
+                    f"[0, {self.num_classes})")
+        if self.xoff_bytes < 0 or self.xon_bytes < 0:
+            raise ValueError("PFC thresholds cannot be negative")
+        if self.xoff_bytes and self.xon_bytes > self.xoff_bytes:
+            raise ValueError("XON threshold must not exceed XOFF")
+        if self.headroom_bytes is not None and self.headroom_bytes < 0:
+            raise ValueError("headroom cannot be negative")
+
+    @property
+    def configured(self) -> bool:
+        """True when this config changes the datapath at all."""
+        return self.enabled or self.num_classes > 1
+
+    def digest_view(self) -> Tuple:
+        """The digest-relevant projection (order is part of the format)."""
+        return (self.enabled, self.num_classes, self.priority_map,
+                self.xoff_bytes, self.xon_bytes, self.headroom_bytes)
+
+
+def resolve_thresholds(config: PfcConfig, buffer_bytes: int,
+                       rate_bps: int, delay_ns: int
+                       ) -> Tuple[int, int, int]:
+    """Resolve (xoff, xon, headroom) bytes, all-integer arithmetic.
+
+    Auto XOFF gives each class half its even share of the port buffer;
+    auto XON is half of XOFF (hysteresis); auto headroom covers the
+    worst-case pause-loop in-flight bytes: one reverse propagation delay
+    for the PAUSE plus one forward delay of line-rate bytes (2 x one-way
+    BDP at the fastest link) plus one packet mid-serialization at each
+    end (2 MTU).
+    """
+    xoff = config.xoff_bytes or buffer_bytes // (2 * config.num_classes)
+    xon = config.xon_bytes or xoff // 2
+    if config.headroom_bytes is not None:
+        headroom = config.headroom_bytes
+    else:
+        bdp = rate_bps * delay_ns // (8 * 1_000_000_000)
+        headroom = 2 * bdp + 2 * MTU_WIRE_BYTES
+    if xoff <= 0:
+        raise ValueError("resolved XOFF threshold must be positive")
+    return xoff, xon, headroom
+
+
+class PfcGate:
+    """Ingress-buffer accounting for one (switch, in-port, class) triple.
+
+    The gate charges packets while resident at the downstream switch and
+    pauses/resumes the single upstream transmitter feeding this ingress.
+    All state is integer bytes / integer ns.
+    """
+
+    __slots__ = ("engine", "network", "node", "in_port", "pclass",
+                 "upstream_port", "upstream_label", "upstream_is_switch",
+                 "delay_ns", "xoff", "xon", "capacity", "occupancy",
+                 "paused", "paused_since", "pause_ns", "pause_events",
+                 "headroom_drops")
+
+    def __init__(self, engine: "Engine", network: "Network", node: str,
+                 in_port: int, pclass: int, upstream_port: "Port",
+                 upstream_label: str, upstream_is_switch: bool,
+                 delay_ns: int, xoff: int, xon: int, headroom: int) -> None:
+        self.engine = engine
+        self.network = network
+        self.node = node                  # downstream switch name
+        self.in_port = in_port            # ingress port index at node
+        self.pclass = pclass
+        self.upstream_port = upstream_port
+        self.upstream_label = upstream_label
+        self.upstream_is_switch = upstream_is_switch
+        self.delay_ns = delay_ns          # reverse-link PAUSE propagation
+        self.xoff = xoff
+        self.xon = xon
+        self.capacity = xoff + headroom
+        self.occupancy = 0
+        self.paused = False
+        self.paused_since = 0
+        self.pause_ns = 0
+        self.pause_events = 0
+        self.headroom_drops = 0
+
+    # -- dataplane ------------------------------------------------------------
+
+    def admit(self, wire_bytes: int) -> bool:
+        """Admission check: always below XOFF, headroom-bounded above."""
+        if self.occupancy < self.xoff:
+            return True
+        if self.occupancy + wire_bytes <= self.capacity:
+            return True
+        self.headroom_drops += 1
+        return False
+
+    def charge(self, packet: "Packet") -> None:
+        """Charge an admitted packet for its residency at the switch."""
+        self.occupancy += packet.wire_bytes
+        packet.pfc_gate = self
+        packet.pfc_held = packet.wire_bytes
+        if not self.paused and self.occupancy >= self.xoff:
+            self._pause()
+
+    def release(self, packet: "Packet") -> None:
+        """Release a packet's charge (egress tx done, or dropped)."""
+        self.occupancy -= packet.pfc_held
+        packet.pfc_held = 0
+        packet.pfc_gate = None
+        if self.paused and self.occupancy <= self.xon:
+            self._resume()
+
+    # -- XOFF/XON state machine ----------------------------------------------
+
+    def _pause(self) -> None:
+        now = self.engine.now
+        self.paused = True
+        self.paused_since = now
+        self.pause_events += 1
+        if _TRACE is not None:
+            _TRACE.pfc_pause(now, self.node, self.in_port, self.pclass,
+                             self.occupancy)
+        self.engine.schedule(self.delay_ns, self._hold_upstream, True,
+                             priority=PAUSE_PRIORITY)
+
+    def _resume(self) -> None:
+        now = self.engine.now
+        self.paused = False
+        self.pause_ns += now - self.paused_since
+        if _TRACE is not None:
+            _TRACE.pfc_resume(now, self.node, self.in_port, self.pclass,
+                              self.occupancy)
+        self.engine.schedule(self.delay_ns, self._hold_upstream, False,
+                             priority=PAUSE_PRIORITY)
+
+    def _hold_upstream(self, hold: bool) -> None:
+        """PAUSE/RESUME frame arrival at the upstream transmitter."""
+        self.upstream_port.pfc_hold(self.pclass, hold)
+        if hold:
+            fidelity = self.network.fidelity
+            if fidelity is not None:
+                fidelity.on_pause(self.upstream_port.link)
+
+    def pause_time_ns(self, now_ns: int) -> int:
+        """Total paused time, closing any open pause interval."""
+        span = self.pause_ns
+        if self.paused:
+            span += now_ns - self.paused_since
+        return span
+
+
+class PfcController:
+    """Builds and owns every gate in the network; reporting surface."""
+
+    def __init__(self, engine: "Engine", config: PfcConfig,
+                 network: "Network") -> None:
+        self.engine = engine
+        self.config = config
+        self.network = network
+        self.gates: List[PfcGate] = []
+
+    def install(self) -> None:
+        """Create one gate per (switch ingress, class) and wire admission.
+
+        Walks every directed link that terminates at a switch; the
+        upstream transmitter is the registered tx port of that directed
+        channel (a switch egress port or a host NIC — host NICs are
+        paused too, so lossless-ness extends to the edge).
+        """
+        params = self.network.params
+        rate = max(params.host_rate_bps, params.fabric_rate_bps)
+        delay = max(params.host_link_delay_ns, params.fabric_link_delay_ns)
+        xoff, xon, headroom = resolve_thresholds(
+            self.config, params.buffer_bytes, rate, delay)
+        switches = self.network.switches
+        per_switch: Dict[str, Dict[int, Tuple[PfcGate, ...]]] = {}
+        for (src_label, dst_label), link in self.network.links.items():
+            if dst_label not in switches:
+                continue  # host ingress: hosts sink packets, no gate
+            node = dst_label
+            in_port = link.dst_port
+            upstream_port = self.network.tx_ports[(src_label, dst_label)]
+            lane_gates = tuple(
+                PfcGate(self.engine, self.network, node, in_port, pclass,
+                        upstream_port, src_label,
+                        src_label in switches, link.delay_ns,
+                        xoff, xon, headroom)
+                for pclass in range(self.config.num_classes))
+            per_switch.setdefault(node, {})[in_port] = lane_gates
+            self.gates.extend(lane_gates)
+        for name, by_port in per_switch.items():
+            switches[name].pfc_gates = by_port
+
+    # -- reporting ------------------------------------------------------------
+
+    def paused_edges(self) -> List[Tuple[str, str]]:
+        """Waits-on edges (upstream, downstream) over paused fabric gates.
+
+        Only switch-to-switch gates participate: hosts cannot complete a
+        buffer-dependency cycle (they sink what they receive).
+        """
+        return [(gate.upstream_label, gate.node) for gate in self.gates
+                if gate.paused and gate.upstream_is_switch]
+
+    def total_pause_ns(self, now_ns: int) -> int:
+        return sum(gate.pause_time_ns(now_ns) for gate in self.gates)
+
+    def summary(self, now_ns: int) -> dict:
+        """Deterministic, digest-safe (all-integer) PFC summary."""
+        pauses = sorted(
+            [gate.upstream_label, gate.node, gate.pclass,
+             gate.pause_events, gate.pause_time_ns(now_ns)]
+            for gate in self.gates if gate.pause_events > 0)
+        return {
+            "gates": len(self.gates),
+            "pause_events": sum(g.pause_events for g in self.gates),
+            "pause_ns": self.total_pause_ns(now_ns),
+            "paused_at_end": sum(1 for g in self.gates if g.paused),
+            "headroom_drops": sum(g.headroom_drops for g in self.gates),
+            "pauses": pauses,
+        }

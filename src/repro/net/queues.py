@@ -13,6 +13,14 @@ Both account occupancy in bytes against a fixed capacity (the paper uses
 300 KB per port).  Overflow *policy* — drop, deflect, displace — is decided
 by the forwarding policy in :mod:`repro.forwarding`; the queues only
 report whether a packet fits.
+
+:class:`ClassLaneQueue` composes N of either flavour into per-priority-
+class lanes behind the same interface: ``push``/``fits`` route by the
+packet's ``pclass``, ``pop`` serves lanes in strict priority order
+(lane 0 first), and ``pop_unpaused`` additionally skips lanes held by
+PFC PAUSE (:mod:`repro.net.pfc`).  A port owns a lane queue only when
+the experiment configures more than one priority class, so the
+single-class datapath is byte-identical to the plain queues.
 """
 
 from __future__ import annotations
@@ -247,3 +255,116 @@ class RankedQueue(_BoundedQueue):
 
     def packets(self) -> List[Packet]:
         return [packet for _, packet in self._ranked.items()]
+
+
+class ClassLaneQueue:
+    """N per-priority-class lanes behind the single-queue interface.
+
+    Each lane is a full :class:`DropTailQueue` or :class:`RankedQueue`;
+    admission (``fits``/``push``) is decided by the arriving packet's
+    lane alone, and ``pop`` drains lanes in strict priority order.
+    Aggregate views (``bytes``, ``len``, ``packets``) cover all lanes so
+    forwarding policies, the sanitizer, and samplers keep working
+    unchanged.  Vertigo's displace-and-deflect operates on
+    ``lane_for(packet)`` so deflection respects class lanes.
+    """
+
+    __slots__ = ("lanes", "num_classes", "_label")
+
+    def __init__(self, lanes) -> None:
+        lanes = list(lanes)
+        if not lanes:
+            raise ValueError("a lane queue needs at least one lane")
+        self.lanes = lanes
+        self.num_classes = len(lanes)
+        self._label = ""
+
+    # -- per-packet routing ----------------------------------------------------
+
+    def lane_for(self, packet: Packet):
+        """The lane serving this packet's priority class."""
+        return self.lanes[packet.pclass]
+
+    def fits(self, packet: Packet) -> bool:
+        return self.lanes[packet.pclass].fits(packet)
+
+    def push(self, packet: Packet, now_ns: int = 0) -> None:
+        self.lanes[packet.pclass].push(packet, now_ns)
+
+    def pop(self, now_ns: int = 0) -> Packet:
+        for lane in self.lanes:
+            if lane:
+                return lane.pop(now_ns)
+        raise IndexError("pop from empty ClassLaneQueue")
+
+    def pop_unpaused(self, paused_mask: int,
+                     now_ns: int = 0) -> Optional[Packet]:
+        """Strict-priority pop skipping PAUSEd lanes (None if all held)."""
+        for index, lane in enumerate(self.lanes):
+            if lane and not (paused_mask >> index) & 1:
+                return lane.pop(now_ns)
+        return None
+
+    # -- aggregate views -------------------------------------------------------
+
+    @property
+    def bytes(self) -> int:
+        return sum(lane.bytes for lane in self.lanes)
+
+    @property
+    def capacity_bytes(self) -> int:
+        return sum(lane.capacity_bytes for lane in self.lanes)
+
+    @property
+    def free_bytes(self) -> int:
+        return sum(lane.free_bytes for lane in self.lanes)
+
+    @property
+    def stats(self) -> QueueStats:
+        """Merged lane counters (max_bytes sums the per-lane maxima)."""
+        merged = QueueStats()
+        for lane in self.lanes:
+            stats = lane.stats
+            merged.enqueued += stats.enqueued
+            merged.dequeued += stats.dequeued
+            merged.ecn_marked += stats.ecn_marked
+            merged.max_bytes += stats.max_bytes
+            merged.occupancy_integral += stats.occupancy_integral
+            if stats.last_change_ns > merged.last_change_ns:
+                merged.last_change_ns = stats.last_change_ns
+        return merged
+
+    @property
+    def label(self) -> str:
+        return self._label
+
+    @label.setter
+    def label(self, value: str) -> None:
+        self._label = value
+        for lane in self.lanes:
+            lane.label = value
+
+    @property
+    def mark_hook(self):
+        return self.lanes[0].mark_hook
+
+    @mark_hook.setter
+    def mark_hook(self, hook) -> None:
+        for lane in self.lanes:
+            lane.mark_hook = hook
+
+    def __len__(self) -> int:
+        return sum(len(lane) for lane in self.lanes)
+
+    def __bool__(self) -> bool:
+        return any(self.lanes)
+
+    def packets(self) -> List[Packet]:
+        merged: List[Packet] = []
+        for lane in self.lanes:
+            merged.extend(lane.packets())
+        return merged
+
+    def _sanitize_check(self) -> None:
+        for lane in self.lanes:
+            lane._sanitize_check()

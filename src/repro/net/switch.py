@@ -48,6 +48,10 @@ class Switch:
         #: Fidelity controller observing congestion signals, or None
         #: (pure packet mode; see repro.net.fidelity).
         self.fidelity = None
+        #: PFC ingress gates, ``{in_port: (gate per class, ...)}``, or
+        #: None (PFC off; see repro.net.pfc).  Installed by the
+        #: PfcController after the network is built.
+        self.pfc_gates: Optional[Dict[int, Tuple]] = None
         self._switch_ports: Optional[Tuple[int, ...]] = None
 
     # -- construction --------------------------------------------------------
@@ -90,6 +94,13 @@ class Switch:
         if packet.hops > self.max_hops:
             self.drop(packet, "hop_limit")
             return
+        gates = self.pfc_gates
+        if gates is not None:
+            gate = gates[in_port][packet.pclass]
+            if not gate.admit(packet.wire_bytes):
+                self.drop(packet, "pfc_headroom")
+                return
+            gate.charge(packet)
         self.policy.route(packet, in_port)
 
     def _receive_sanitized(self, packet: Packet, in_port: int) -> None:
@@ -107,7 +118,17 @@ class Switch:
         if packet.hops > self.max_hops:
             self.drop(packet, "hop_limit")
         else:
-            self.policy.route(packet, in_port)
+            gates = self.pfc_gates
+            admitted = True
+            if gates is not None:
+                gate = gates[in_port][packet.pclass]
+                if gate.admit(packet.wire_bytes):
+                    gate.charge(packet)
+                else:
+                    self.drop(packet, "pfc_headroom")
+                    admitted = False
+            if admitted:
+                self.policy.route(packet, in_port)
         dropped = self.counters.total_drops - drops_before
         _sanitize.check(
             self._resident_packets() + dropped == resident_before + 1,
@@ -154,7 +175,14 @@ class Switch:
                                         self.ports[to_port].link)
 
     def drop(self, packet: Packet, reason: str) -> None:
+        if packet.pfc_held:
+            # A charged packet that dies at this switch (tail drop,
+            # no_route, displaced victim, ...) releases its PFC
+            # ingress-buffer charge here; wire drops are downstream of
+            # the egress release and arrive with pfc_held == 0.
+            packet.pfc_gate.release(packet)
         self.counters.drops[reason] += 1
+        self.counters.class_drops[(packet.pclass, reason)] += 1
         if _TRACE is not None and _TRACE.packets:
             _TRACE.pkt_drop(self.engine.now, self.name, reason, packet)
 

@@ -59,6 +59,22 @@ class FaultEvent:
     link: Tuple[str, str]
 
 
+@dataclass(frozen=True)
+class DeadlockEvent:
+    """A PFC pause cycle that persisted across consecutive ticks.
+
+    With lossless (PFC) fabrics, a cyclic buffer dependency — switch A's
+    ingress paused by B, B's by C, C's by A — stops every port on the
+    cycle forever: no packet drains, so no XON ever fires.  The
+    simulation itself cannot hang (the engine simply runs out the
+    sim-time horizon), but without this record the run would *look* like
+    an idle network.  The monitor reports the cycle instead.
+    """
+
+    time_ns: int
+    cycle: Tuple[str, ...]    # switch names, in cycle order
+
+
 class TelemetryReport:
     """Reporting surface shared by the live monitor and its snapshot.
 
@@ -70,6 +86,7 @@ class TelemetryReport:
     samples: List[PortSample]
     events: List[CongestionEvent]
     faults: List[FaultEvent]
+    deadlocks: List[DeadlockEvent]
 
     def mean_utilization(self, switch: Optional[str] = None) -> float:
         """Average sampled utilization, optionally for one switch."""
@@ -100,6 +117,8 @@ class TelemetryReport:
             "persistent": self.persistent_count(),
             "fault_events": self.fault_count(),
             "samples": len(self.samples),
+            "pfc_deadlocks": [[event.time_ns, list(event.cycle)]
+                              for event in self.deadlocks],
         }
 
 
@@ -116,14 +135,20 @@ class TelemetrySummary(TelemetryReport):
     samples: List[PortSample] = field(default_factory=list)
     events: List[CongestionEvent] = field(default_factory=list)
     faults: List[FaultEvent] = field(default_factory=list)
+    deadlocks: List[DeadlockEvent] = field(default_factory=list)
 
 
 class TelemetryMonitor(TelemetryReport):
     """Samples a running :class:`~repro.net.builder.Network`."""
 
+    #: Consecutive ticks a pause cycle must persist before it is
+    #: recorded as a deadlock (filters transient, self-resolving loops).
+    DEADLOCK_PERSISTENCE_TICKS = 3
+
     def __init__(self, engine: Engine, network: Network,
                  interval_ns: int = 1_000_000, *,
-                 microburst_deflection_threshold: int = 10) -> None:
+                 microburst_deflection_threshold: int = 10,
+                 pfc=None) -> None:
         if interval_ns <= 0:
             raise ValueError("sampling interval must be positive")
         self.engine = engine
@@ -131,12 +156,18 @@ class TelemetryMonitor(TelemetryReport):
         self.interval_ns = interval_ns
         self.microburst_deflection_threshold = \
             microburst_deflection_threshold
+        self.pfc = pfc
         self.samples: List[PortSample] = []
         self.events: List[CongestionEvent] = []
         self.faults: List[FaultEvent] = []
+        self.deadlocks: List[DeadlockEvent] = []
         self._last_bytes: Dict[Tuple[str, int], int] = {}
         self._last_deflections = 0
         self._last_drops = 0
+        # Pause cycles seen on the previous ticks, keyed by canonical
+        # cycle tuple -> consecutive-tick count (see _check_deadlock).
+        self._cycle_streaks: Dict[Tuple[str, ...], int] = {}
+        self._reported_cycles: set = set()
         self._running = False
         self._pending: Optional[Event] = None
 
@@ -201,6 +232,8 @@ class TelemetryMonitor(TelemetryReport):
                         or sample.utilization > hottest.utilization:
                     hottest = sample
         self._classify(now, hottest)
+        if self.pfc is not None:
+            self._check_deadlock(now)
         self._pending = self.engine.schedule(self.interval_ns, self._tick)
 
     def _classify(self, now: int, hottest: Optional[PortSample]) -> None:
@@ -222,6 +255,29 @@ class TelemetryMonitor(TelemetryReport):
                 hottest_port=(hottest.switch, hottest.port),
                 hottest_utilization=hottest.utilization))
 
+    def _check_deadlock(self, now: int) -> None:
+        """Record PFC pause cycles that persist across consecutive ticks.
+
+        A healthy PFC fabric pauses and resumes constantly; a pause
+        *cycle* that is still the same cycle
+        :data:`DEADLOCK_PERSISTENCE_TICKS` ticks in a row cannot resolve
+        itself (nothing on the cycle can drain), so it is reported once
+        as a :class:`DeadlockEvent`.  Cycle membership is recomputed
+        from scratch every tick from the controller's currently-paused
+        switch-to-switch edges.
+        """
+        cycles = _pause_cycles(self.pfc.paused_edges())
+        streaks = self._cycle_streaks
+        self._cycle_streaks = fresh = {}
+        for cycle in cycles:
+            count = streaks.get(cycle, 0) + 1
+            fresh[cycle] = count
+            if count >= self.DEADLOCK_PERSISTENCE_TICKS \
+                    and cycle not in self._reported_cycles:
+                self._reported_cycles.add(cycle)
+                self.deadlocks.append(
+                    DeadlockEvent(time_ns=now, cycle=cycle))
+
     # -- reporting ---------------------------------------------------------------
 
     def summary(self) -> TelemetrySummary:
@@ -232,4 +288,69 @@ class TelemetryMonitor(TelemetryReport):
         """
         return TelemetrySummary(samples=list(self.samples),
                                 events=list(self.events),
-                                faults=list(self.faults))
+                                faults=list(self.faults),
+                                deadlocks=list(self.deadlocks))
+
+
+def _pause_cycles(edges: List[Tuple[str, str]]) -> List[Tuple[str, ...]]:
+    """Cyclic buffer dependencies in the PFC waits-on graph.
+
+    ``edges`` are ``(upstream, downstream)`` pairs: the upstream switch
+    is currently held by a paused gate at the downstream switch, i.e.
+    it *waits on* the downstream draining.  Every strongly-connected
+    component with two or more members is a cyclic dependency; each is
+    returned as the sorted tuple of its switch names, with the list
+    itself sorted — fully deterministic for digests and tests.
+    """
+    adj: Dict[str, List[str]] = {}
+    for upstream, downstream in edges:
+        if upstream == downstream:
+            continue
+        adj.setdefault(upstream, []).append(downstream)
+        adj.setdefault(downstream, [])
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: set = set()
+    stack: List[str] = []
+    next_index = 0
+    cycles: List[Tuple[str, ...]] = []
+    # Iterative Tarjan (no recursion limit concerns on large fabrics).
+    for root in sorted(adj):
+        if root in index:
+            continue
+        index[root] = lowlink[root] = next_index
+        next_index += 1
+        stack.append(root)
+        on_stack.add(root)
+        work = [(root, iter(adj[root]))]
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index:
+                    index[succ] = lowlink[succ] = next_index
+                    next_index += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(adj[succ])))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.remove(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1:
+                    cycles.append(tuple(sorted(component)))
+    return sorted(cycles)

@@ -84,6 +84,12 @@ class TraceSampler:
                     now, name, port.index, queue.bytes, len(queue),
                     # Dimensionless ns/ns ratio at the reporting boundary.
                     min(1.0, busy_ns / period))  # noqa: VR003
+                lanes = getattr(queue, "lanes", None)
+                if lanes is not None:
+                    # Priority-class egress: one sample per lane too.
+                    for pclass, lane in enumerate(lanes):
+                        tracer.sample_lane(now, name, port.index, pclass,
+                                           lane.bytes, len(lane))
         for host in self.network.hosts:
             for flow_id, sender in host.senders.items():
                 if sender.completed or sender.failed:

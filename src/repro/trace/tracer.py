@@ -62,10 +62,18 @@ EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
     "cc.rto": ("flow", "rto_ns"),
     # Fidelity-mode transitions (both levels; see repro.net.fidelity).
     "fid.mode": ("link", "mode", "why"),
+    # PFC XOFF/XON transitions at an ingress gate (both levels; see
+    # repro.net.pfc).  ``node``/``port`` name the ingress, ``qbytes``
+    # the gate occupancy at the transition.
+    "pfc.pause": ("node", "port", "pclass", "qbytes"),
+    "pfc.resume": ("node", "port", "pclass", "qbytes"),
     # Engine run-loop spans (both levels; sim-time only, no wall clock).
     "engine.span": ("t_start", "events"),
     # Periodic samples (both levels, when a sample period is configured).
     "sample.port": ("node", "port", "qbytes", "qpkts", "util"),
+    # Per-lane occupancy of priority-class queues (only emitted for
+    # ports with ClassLaneQueue egress; see repro.net.pfc).
+    "sample.lane": ("node", "port", "pclass", "qbytes", "qpkts"),
     "sample.flow": ("node", "flow", "cwnd", "srtt_ns", "inflight",
                     "acked", "cc"),
     # Per-tick fidelity-residency aggregate (hybrid/flow modes only).
@@ -255,6 +263,16 @@ class Tracer:
         self.emitted_events += 1
         self._events.append(("fid.mode", t, link, mode, why))
 
+    def pfc_pause(self, t: int, node: str, port: int, pclass: int,
+                  qbytes: int) -> None:
+        self.emitted_events += 1
+        self._events.append(("pfc.pause", t, node, port, pclass, qbytes))
+
+    def pfc_resume(self, t: int, node: str, port: int, pclass: int,
+                   qbytes: int) -> None:
+        self.emitted_events += 1
+        self._events.append(("pfc.resume", t, node, port, pclass, qbytes))
+
     def engine_span(self, t_end: int, t_start: int, events: int) -> None:
         self.emitted_events += 1
         self._events.append(("engine.span", t_end, t_start, events))
@@ -266,6 +284,12 @@ class Tracer:
         self.emitted_samples += 1
         self._samples.append(("sample.port", t, node, port, qbytes, qpkts,
                               util))
+
+    def sample_lane(self, t: int, node: str, port: int, pclass: int,
+                    qbytes: int, qpkts: int) -> None:
+        self.emitted_samples += 1
+        self._samples.append(("sample.lane", t, node, port, pclass, qbytes,
+                              qpkts))
 
     def sample_flow(self, t: int, node: str, flow: int, cwnd: float,
                     srtt_ns: Optional[int], inflight: int, acked: int,

@@ -10,11 +10,14 @@ here on a shared sliding-window engine (:mod:`repro.transport.base`):
   estimation (alpha) with proportional window reduction.
 - :class:`~repro.transport.swift.SwiftSender` — Swift: delay-target AIMD
   with accurate timestamp RTTs, pacing, and cwnd below one packet.
+- :class:`~repro.transport.dcqcn.DcqcnSender` — DCQCN-like rate-based
+  control, the RoCEv2 companion to PFC (lossless-fabric extension).
 """
 
 from repro.transport.base import FlowReceiver, FlowSender, TransportConfig
 from repro.transport.reno import RenoSender
 from repro.transport.dctcp import DctcpSender
+from repro.transport.dcqcn import DcqcnSender
 from repro.transport.swift import SwiftSender
 
 TRANSPORTS = {
@@ -22,6 +25,7 @@ TRANSPORTS = {
     "tcp": RenoSender,
     "dctcp": DctcpSender,
     "swift": SwiftSender,
+    "dcqcn": DcqcnSender,
 }
 
 __all__ = [
@@ -30,6 +34,7 @@ __all__ = [
     "TransportConfig",
     "RenoSender",
     "DctcpSender",
+    "DcqcnSender",
     "SwiftSender",
     "TRANSPORTS",
 ]

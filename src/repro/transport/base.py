@@ -70,6 +70,18 @@ class TransportConfig:
     swift_beta: float = 0.8
     swift_max_mdf: float = 0.5
     swift_min_cwnd: float = 0.01
+    # DCQCN-specific knobs (ignored by the window-based transports).
+    # Non-positive rate/timer/step values mean "auto": the experiment
+    # runner derives them from the topology's line rate
+    # (repro.experiments.runner.resolve_transport_config).
+    dcqcn_rate_bps: int = 0          # initial = line rate
+    dcqcn_min_rate_bps: int = 1_000_000
+    #: Alpha EWMA gain g = 1 / 2**shift (default 1/16, the paper's g).
+    dcqcn_alpha_g_shift: int = 4
+    dcqcn_timer_ns: int = 0          # rate-increase period (auto ~55 us)
+    dcqcn_rate_ai_bps: int = 0       # additive step (auto: line rate / 200)
+    dcqcn_rate_hai_bps: int = 0      # hyper step (auto: line rate / 20)
+    dcqcn_fast_recovery_stages: int = 5
 
     def with_overrides(self, **kwargs) -> "TransportConfig":
         return replace(self, **kwargs)
@@ -121,6 +133,12 @@ class FlowSender:
         self._last_tx_ns = -(10 ** 18)
         self._rto_timer = Timer(engine, self._on_rto)
         self._pace_timer = Timer(engine, self._maybe_send)
+        #: Lossless-edge hook (repro.host): bound ``Host.nic_blocked``,
+        #: or None for host doubles without an edge model.
+        self._nic_blocked = getattr(host, "nic_blocked", None)
+        #: True when a head retransmission is waiting out NIC
+        #: backpressure (lossless edge, repro.host).
+        self._rtx_parked = False
 
         #: Fidelity controller adopting this flow, or None (pure packet
         #: mode).  Set by the controller, cleared when the flow stops.
@@ -199,6 +217,9 @@ class FlowSender:
                     self._pace_timer.start(wait)
                     return
             payload = min(self.config.mss, self.size - self.snd_nxt)
+            if self._nic_blocked is not None \
+                    and self._nic_blocked(self, payload + HEADER_BYTES):
+                return  # parked: the host wakes us when the NIC drains
             self._transmit(self.snd_nxt, payload, tx_count=1)
             self.snd_nxt += payload
 
@@ -229,10 +250,21 @@ class FlowSender:
         if not self._rto_timer.armed:
             self._rto_timer.start(self.rto_ns)
 
+    def nic_unblocked(self) -> None:
+        """Edge backpressure released: the host NIC drained (repro.host)."""
+        if self._rtx_parked:
+            self._rtx_parked = False
+            self._retransmit_head()
+        self._maybe_send()
+
     def _retransmit_head(self) -> None:
         segment = self._segments.get(self.snd_una)
         if segment is None:
             # Head segment unknown (e.g. all data acked meanwhile).
+            return
+        if self._nic_blocked is not None \
+                and self._nic_blocked(self, segment.payload + HEADER_BYTES):
+            self._rtx_parked = True
             return
         self._transmit(segment.seq, segment.payload, segment.tx_count + 1)
 

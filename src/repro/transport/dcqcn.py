@@ -1,0 +1,138 @@
+"""DCQCN-like rate-based congestion control (Zhu et al., SIGCOMM 2015).
+
+The RoCEv2 companion to PFC (:mod:`repro.net.pfc`): instead of a
+congestion window, the sender paces packets at an explicit rate and
+reacts to ECN feedback —
+
+- **decrease**: an EWMA ``alpha`` tracks the marked fraction of each
+  window of ACKed bytes (standing in for the NIC's CNP stream); a window
+  containing marks cuts the rate multiplicatively by ``alpha / 2`` and
+  snapshots the pre-cut rate as the recovery target.
+- **increase**: a periodic timer first closes half the gap to the target
+  each period (*fast recovery*), then grows the target additively, then
+  hyper-additively — the standard three DCQCN stages.
+
+Everything is integer arithmetic: rates in bits/s, times in ns, and
+``alpha`` in fixed point (:data:`ALPHA_UNIT`), so runs stay
+digest-deterministic (VR150/VR160 discipline).  The congestion window is
+parked at ``max_cwnd`` and acts only as a safety cap on outstanding
+data; the rate is the control variable, enforced through
+:meth:`pacing_gap_ns`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.metrics.collector import MetricsCollector
+from repro.net.packet import HEADER_BYTES
+from repro.sim.engine import Engine
+from repro.sim.timers import Timer
+from repro.transport.base import FlowSender, TransportConfig
+
+#: Fixed-point unit for the marked-fraction EWMA ``alpha`` (1.0 == UNIT).
+ALPHA_UNIT = 1 << 20
+#: Fallback line rate for standalone (runner-less) construction.
+DEFAULT_RATE_BPS = 10_000_000_000
+
+
+class DcqcnSender(FlowSender):
+    """Rate-based ECN-proportional congestion control."""
+
+    def __init__(self, engine: Engine, host, flow_id: int, dst: int,
+                 size: int, config: TransportConfig,
+                 metrics: MetricsCollector, on_complete=None) -> None:
+        super().__init__(engine, host, flow_id, dst, size,
+                         config.with_overrides(
+                             ecn_capable=True,
+                             init_cwnd=config.max_cwnd),
+                         metrics, on_complete=on_complete)
+        config = self.config
+        line_rate = config.dcqcn_rate_bps \
+            if config.dcqcn_rate_bps > 0 else DEFAULT_RATE_BPS
+        self.rate_bps = line_rate
+        self.target_rate_bps = line_rate
+        self.min_rate_bps = max(1, config.dcqcn_min_rate_bps)
+        self.alpha_fp = ALPHA_UNIT  # conservative initial estimate
+        self._g_shift = config.dcqcn_alpha_g_shift
+        self._timer_ns = config.dcqcn_timer_ns \
+            if config.dcqcn_timer_ns > 0 else 55_000
+        self._rate_ai_bps = config.dcqcn_rate_ai_bps \
+            if config.dcqcn_rate_ai_bps > 0 else max(1, line_rate // 200)
+        self._rate_hai_bps = config.dcqcn_rate_hai_bps \
+            if config.dcqcn_rate_hai_bps > 0 else max(1, line_rate // 20)
+        self._fast_stages = config.dcqcn_fast_recovery_stages
+        self._stage = 0
+        self._window_acked = 0
+        self._window_marked = 0
+        self._window_end = 0
+        self._rate_timer = Timer(engine, self._on_rate_timer)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        self._rate_timer.start(self._timer_ns)
+        super().start()
+
+    def stop(self) -> None:
+        self._rate_timer.stop()
+        super().stop()
+
+    # -- rate enforcement ----------------------------------------------------
+
+    def pacing_gap_ns(self) -> int:
+        """Serialization time of one full segment at the current rate."""
+        wire_bits = (self.config.mss + HEADER_BYTES) * 8
+        return wire_bits * 1_000_000_000 // self.rate_bps
+
+    # -- congestion-control hooks --------------------------------------------
+
+    def on_new_ack_cc(self, acked_bytes: int, rtt_ns: Optional[int],
+                      ece: bool) -> None:
+        self._window_acked += acked_bytes
+        if ece:
+            self._window_marked += acked_bytes
+        if self.snd_una >= self._window_end:
+            self._end_observation_window()
+
+    def _end_observation_window(self) -> None:
+        if self._window_acked > 0:
+            fraction_fp = (self._window_marked * ALPHA_UNIT
+                           // self._window_acked)
+            shift = self._g_shift
+            self.alpha_fp += (fraction_fp >> shift) - (self.alpha_fp >> shift)
+            if self._window_marked > 0:
+                self._cut_rate()
+        self._window_acked = 0
+        self._window_marked = 0
+        self._window_end = self.snd_nxt
+
+    def _cut_rate(self) -> None:
+        """Multiplicative decrease by alpha/2; pre-cut rate is the target."""
+        self.target_rate_bps = self.rate_bps
+        cut = self.rate_bps * (2 * ALPHA_UNIT - self.alpha_fp) \
+            // (2 * ALPHA_UNIT)
+        self.rate_bps = max(self.min_rate_bps, cut)
+        self._stage = 0
+        self._rate_timer.start(self._timer_ns)
+
+    def _on_rate_timer(self) -> None:
+        if self._stage >= self._fast_stages:
+            if self._stage >= 2 * self._fast_stages:
+                self.target_rate_bps += self._rate_hai_bps
+            else:
+                self.target_rate_bps += self._rate_ai_bps
+        self._stage += 1
+        self.rate_bps = (self.rate_bps + self.target_rate_bps) // 2
+        self._rate_timer.start(self._timer_ns)
+
+    def on_rto_cc(self) -> None:
+        # Loss (only possible with PFC off or zero headroom) is treated
+        # as the strongest congestion signal: halve and restart recovery.
+        self.target_rate_bps = self.rate_bps
+        self.rate_bps = max(self.min_rate_bps, self.rate_bps // 2)
+        self._stage = 0
+        self._rate_timer.start(self._timer_ns)
+
+    def cc_state(self) -> tuple:
+        return ("dcqcn", self.rate_bps, self.alpha_fp)

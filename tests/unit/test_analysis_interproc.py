@@ -22,6 +22,7 @@ CASES = [
     ("VR130", ["vr130_bad.py"], ["vr130_good.py"]),
     ("VR140", ["vr140_bad.py"], ["vr140_good.py"]),
     ("VR150", ["vr150_bad.py"], ["vr150_good.py"]),
+    ("VR160", ["vr160_bad.py"], ["vr160_good.py"]),
 ]
 
 
@@ -85,6 +86,17 @@ def test_vr150_catches_floats_vr100_cannot_see():
     assert "analytic" in messages
     # ... and VR100 indeed cannot see either of them.
     assert findings("VR100", ["vr150_bad.py"]) == []
+
+
+def test_vr160_covers_pfc_functions_and_threshold_classes():
+    hits = findings("VR160", ["vr160_bad.py"])
+    messages = "\n".join(v.message for v in hits)
+    # The pause-duration return (function-name marker) ...
+    assert "pause_duration" in messages
+    # ... and the threshold math (class-name marker) both fire.
+    assert "'fraction'" in messages
+    # VR100 sees neither: no *_ns name is involved.
+    assert findings("VR100", ["vr160_bad.py"]) == []
 
 
 def test_vr140_reports_unguarded_use_only():

@@ -1,0 +1,282 @@
+"""PFC gates, class lanes, and DCQCN: the lossless-fabric unit surface."""
+
+import pytest
+
+from repro.metrics.collector import MetricsCollector
+from repro.net.packet import data_packet
+from repro.net.pfc import (
+    MTU_WIRE_BYTES,
+    PfcConfig,
+    PfcGate,
+    resolve_thresholds,
+)
+from repro.net.queues import ClassLaneQueue, DropTailQueue, RankedQueue
+from repro.sim.engine import Engine
+from repro.transport.base import TransportConfig
+from repro.transport.dcqcn import ALPHA_UNIT, DcqcnSender
+from tests.unit.test_transport_base import StubHost
+
+
+# -- PfcConfig ----------------------------------------------------------------
+
+
+def test_default_config_is_unconfigured():
+    config = PfcConfig()
+    assert not config.configured
+    assert PfcConfig(num_classes=2, priority_map=(0, 1)).configured
+    assert PfcConfig(enabled=True).configured
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        PfcConfig(num_classes=0)
+    with pytest.raises(ValueError):
+        PfcConfig(priority_map=())
+    with pytest.raises(ValueError):
+        PfcConfig(num_classes=2, priority_map=(0, 2))
+    with pytest.raises(ValueError):
+        PfcConfig(xoff_bytes=1000, xon_bytes=2000)
+    with pytest.raises(ValueError):
+        PfcConfig(headroom_bytes=-1)
+
+
+def test_resolve_thresholds_auto_math():
+    config = PfcConfig(enabled=True, num_classes=2, priority_map=(0, 1))
+    xoff, xon, headroom = resolve_thresholds(
+        config, buffer_bytes=30_000, rate_bps=10_000_000_000,
+        delay_ns=1_000)
+    assert xoff == 30_000 // 4
+    assert xon == xoff // 2
+    # 2 x one-way BDP + 2 MTU, all-integer.
+    assert headroom == 2 * (10_000_000_000 * 1_000 // 8_000_000_000) \
+        + 2 * MTU_WIRE_BYTES
+
+
+def test_resolve_thresholds_honours_zero_headroom():
+    config = PfcConfig(enabled=True, xoff_bytes=5_000, xon_bytes=2_000,
+                       headroom_bytes=0)
+    assert resolve_thresholds(config, 30_000, 10**9, 1_000) \
+        == (5_000, 2_000, 0)
+
+
+# -- PfcGate state machine ----------------------------------------------------
+
+
+class StubPort:
+    """Records pfc_hold calls; enough Port surface for a gate."""
+
+    def __init__(self):
+        self.holds = []
+        self.link = None
+
+    def pfc_hold(self, pclass, hold):
+        self.holds.append((pclass, hold))
+
+
+class StubNetwork:
+    fidelity = None
+
+
+def _gate(engine, xoff=3000, xon=1000, headroom=2000):
+    port = StubPort()
+    gate = PfcGate(engine, StubNetwork(), "leaf0", 0, 0, port, "spine0",
+                   True, delay_ns=100, xoff=xoff, xon=xon,
+                   headroom=headroom)
+    return gate, port
+
+
+def _packet(payload=1460):  # wire size 1500 with headers
+    packet = data_packet(1, 2, 7, seq=0, payload=payload)
+    return packet
+
+
+def test_gate_pauses_at_xoff_and_resumes_at_xon():
+    engine = Engine()
+    gate, port = _gate(engine)
+    first, second = _packet(), _packet()
+    assert gate.admit(first.wire_bytes)
+    gate.charge(first)
+    assert not gate.paused  # below XOFF
+    assert gate.admit(second.wire_bytes)
+    gate.charge(second)
+    assert gate.paused and gate.pause_events == 1  # crossed XOFF
+    engine.run()
+    assert port.holds == [(0, True)]  # PAUSE after propagation delay
+    gate.release(first)
+    # Hysteresis: occupancy is between XON and XOFF, still paused.
+    assert gate.paused
+    gate.release(second)
+    assert not gate.paused
+    engine.run()
+    assert port.holds == [(0, True), (0, False)]
+    assert gate.occupancy == 0
+    assert gate.pause_time_ns(engine.now) == gate.pause_ns
+
+
+def test_gate_admits_into_headroom_then_drops():
+    engine = Engine()
+    gate, _ = _gate(engine, xoff=3000, xon=1500, headroom=2000)
+    packets = [_packet() for _ in range(3)]
+    for packet in packets[:2]:
+        assert gate.admit(packet.wire_bytes)
+        gate.charge(packet)
+    assert gate.paused
+    # Above XOFF: one more fits in headroom (3000 + 2000 = 5000) ...
+    assert gate.admit(packets[2].wire_bytes)
+    gate.charge(packets[2])
+    # ... the next does not.
+    overflow = _packet()
+    assert not gate.admit(overflow.wire_bytes)
+    assert gate.headroom_drops == 1
+
+
+def test_zero_headroom_drops_every_post_xoff_arrival():
+    engine = Engine()
+    gate, _ = _gate(engine, xoff=3000, xon=1500, headroom=0)
+    first, second = _packet(), _packet()
+    gate.charge(first)
+    # The crossing packet is always admitted (it triggers the pause) ...
+    assert gate.admit(second.wire_bytes)
+    gate.charge(second)
+    assert gate.paused
+    # ... but with zero headroom nothing after it is.
+    assert not gate.admit(_packet().wire_bytes)
+    assert gate.headroom_drops == 1
+
+
+def test_release_clears_packet_charge_fields():
+    engine = Engine()
+    gate, _ = _gate(engine)
+    packet = _packet()
+    gate.charge(packet)
+    assert packet.pfc_gate is gate
+    assert packet.pfc_held == packet.wire_bytes
+    gate.release(packet)
+    assert packet.pfc_gate is None and packet.pfc_held == 0
+
+
+# -- ClassLaneQueue -----------------------------------------------------------
+
+
+def _lane_queue(n=2, capacity=10_000, cls=DropTailQueue):
+    return ClassLaneQueue(cls(capacity) for _ in range(n))
+
+
+def _classed(pclass, payload=100):
+    packet = data_packet(1, 2, 7, seq=0, payload=payload)
+    packet.pclass = pclass
+    return packet
+
+
+def test_lanes_admit_and_pop_in_strict_priority():
+    queue = _lane_queue()
+    low, high = _classed(1), _classed(0)
+    queue.push(low, 0)
+    queue.push(high, 0)
+    assert len(queue) == 2
+    assert queue.pop(0) is high  # lane 0 drains first
+    assert queue.pop(0) is low
+
+
+def test_lane_aggregates_sum_over_lanes():
+    queue = _lane_queue()
+    queue.push(_classed(0), 0)
+    queue.push(_classed(1), 0)
+    assert queue.bytes == sum(lane.bytes for lane in queue.lanes)
+    assert queue.capacity_bytes == 20_000
+    assert queue.stats.enqueued == 2
+
+
+def test_pop_unpaused_skips_held_lanes():
+    queue = _lane_queue()
+    first, second = _classed(0), _classed(1)
+    queue.push(first, 0)
+    queue.push(second, 0)
+    assert queue.pop_unpaused(0b01, 0) is second  # class 0 held
+    assert queue.pop_unpaused(0b11, 0) is None    # both held
+    assert queue.pop_unpaused(0b00, 0) is first
+
+
+def test_lane_for_returns_the_class_lane():
+    queue = _lane_queue(cls=RankedQueue)
+    packet = _classed(1)
+    assert queue.lane_for(packet) is queue.lanes[1]
+
+
+# -- DCQCN --------------------------------------------------------------------
+
+
+def _dcqcn(**config_kwargs):
+    engine = Engine()
+    sender = DcqcnSender(engine, StubHost(engine, 1), 7, 2, 1_000_000,
+                         TransportConfig(**config_kwargs),
+                         MetricsCollector())
+    return sender, engine
+
+
+def test_dcqcn_parks_cwnd_and_forces_ecn():
+    sender, _ = _dcqcn()
+    assert sender.config.ecn_capable
+    assert sender.cwnd == sender.config.max_cwnd
+
+
+def test_dcqcn_state_is_all_integer():
+    sender, _ = _dcqcn(dcqcn_rate_bps=10_000_000_000)
+    for value in (sender.rate_bps, sender.target_rate_bps,
+                  sender.alpha_fp, sender.pacing_gap_ns()):
+        assert isinstance(value, int)
+
+
+def test_dcqcn_marked_window_cuts_rate_towards_alpha():
+    sender, _ = _dcqcn(dcqcn_rate_bps=10_000_000_000)
+    sender.alpha_fp = ALPHA_UNIT  # worst case: everything marked
+    before = sender.rate_bps
+    sender.snd_una = 100_000
+    sender._window_end = 0
+    sender._window_acked = 10_000
+    sender._window_marked = 10_000
+    sender._end_observation_window()
+    assert sender.target_rate_bps == before  # pre-cut rate is the target
+    assert sender.rate_bps < before
+    assert sender.rate_bps >= sender.min_rate_bps
+    assert sender._stage == 0
+
+
+def test_dcqcn_unmarked_window_decays_alpha_keeps_rate():
+    sender, _ = _dcqcn(dcqcn_rate_bps=10_000_000_000)
+    before_rate, before_alpha = sender.rate_bps, sender.alpha_fp
+    sender.snd_una = 100_000
+    sender._window_end = 0
+    sender._window_acked = 10_000
+    sender._window_marked = 0
+    sender._end_observation_window()
+    assert sender.rate_bps == before_rate
+    assert sender.alpha_fp < before_alpha
+
+
+def test_dcqcn_timer_recovers_then_increases():
+    sender, _ = _dcqcn(dcqcn_rate_bps=10_000_000_000,
+                       dcqcn_fast_recovery_stages=2)
+    sender.rate_bps = 1_000_000_000
+    sender.target_rate_bps = 2_000_000_000
+    sender._on_rate_timer()
+    assert sender.rate_bps == 1_500_000_000   # fast recovery: halve gap
+    assert sender.target_rate_bps == 2_000_000_000
+    sender._on_rate_timer()
+    target = sender.target_rate_bps
+    sender._on_rate_timer()                   # past fast stages
+    assert sender.target_rate_bps == target + sender._rate_ai_bps
+
+
+def test_dcqcn_rto_halves_rate():
+    sender, _ = _dcqcn(dcqcn_rate_bps=10_000_000_000)
+    sender.on_rto_cc()
+    assert sender.rate_bps == 5_000_000_000
+    assert sender.cc_state()[0] == "dcqcn"
+
+
+def test_dcqcn_pacing_gap_tracks_rate():
+    sender, _ = _dcqcn(dcqcn_rate_bps=10_000_000_000)
+    slow = sender.pacing_gap_ns()
+    sender.rate_bps *= 2
+    assert sender.pacing_gap_ns() * 2 == slow

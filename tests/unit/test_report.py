@@ -41,7 +41,8 @@ def test_report_telemetry_section(result):
     telemetry = result.report().telemetry
     assert telemetry is not None
     assert set(telemetry) == {"mean_utilization", "microbursts",
-                              "persistent", "fault_events", "samples"}
+                              "persistent", "fault_events", "samples",
+                              "pfc_deadlocks"}
     assert telemetry["samples"] > 0
 
 
@@ -64,7 +65,7 @@ def test_report_profile_section(result):
 def test_report_to_dict_schema(result):
     view = result.report().to_dict()
     assert set(view) == {"row", "run", "drops", "telemetry", "trace",
-                         "profile", "fidelity"}
+                         "profile", "fidelity", "drops_by_class", "pfc"}
     assert tuple(view["row"].keys()) == ROW_KEYS
 
 
