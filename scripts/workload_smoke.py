@@ -1,0 +1,146 @@
+#!/usr/bin/env python
+"""Workload smoke: the spec subsystem end to end, on the bench profile.
+
+The CI ``workload-smoke`` job runs this script as the quick end-to-end
+guarantee of the composable workload subsystem
+(:mod:`repro.workload.spec`, :mod:`repro.workload.registry`):
+
+1. run a tiny coflow shuffle — CCT must be present in the report row,
+   at least one coflow must complete, and a re-run must produce a
+   byte-identical digest;
+2. run a small duty-cycle sweep (duty 1.0 vs 0.25 at the same load)
+   with warmup/cooldown windows — both points digest-stable, the
+   measurement window really applied;
+3. run the legacy flat-kwarg configuration both ways (flat kwargs vs
+   explicit specs) — the digests must be identical, the API-redesign
+   compatibility contract;
+4. write the comparison table and every check to a JSON file the job
+   uploads as an artifact.
+
+Exit status 0 when every check holds, 1 (with a diagnostic on stderr)
+otherwise.  Usage::
+
+    PYTHONPATH=src python scripts/workload_smoke.py [--sim-ms M] [--out PATH]
+"""
+
+import argparse
+import json
+import sys
+
+from repro.experiments import run_digest
+from repro.experiments.config import ExperimentConfig, WorkloadConfig
+from repro.experiments.runner import run_experiment
+from repro.sim.units import MILLISECOND
+from repro.workload.spec import (
+    BackgroundSpec,
+    CoflowSpec,
+    DutyCycleSpec,
+    IncastSpec,
+)
+
+
+def coflow_config(sim_ms: int) -> ExperimentConfig:
+    workload = WorkloadConfig((
+        CoflowSpec(width=4, stages=2, cps=2000.0, flow_bytes=5_000),))
+    return ExperimentConfig.bench_profile(
+        system="vertigo", workload=workload,
+        sim_time_ns=sim_ms * MILLISECOND, seed=7)
+
+
+def duty_config(duty: float, sim_ms: int) -> ExperimentConfig:
+    period_ns = MILLISECOND
+    workload = WorkloadConfig(
+        (DutyCycleSpec(load=0.4, duty=duty, period_ns=period_ns,
+                       size_cap=20_000),),
+        warmup_ns=2 * period_ns, cooldown_ns=2 * period_ns)
+    return ExperimentConfig.bench_profile(
+        system="vertigo", workload=workload,
+        sim_time_ns=sim_ms * MILLISECOND, seed=7)
+
+
+def legacy_config(sim_ms: int, explicit: bool) -> ExperimentConfig:
+    if explicit:
+        workload = WorkloadConfig((
+            BackgroundSpec(load=0.2, size_cap=200_000),
+            IncastSpec(qps=80.0, scale=6, flow_bytes=10_000)))
+        return ExperimentConfig.bench_profile(
+            system="vertigo", workload=workload,
+            sim_time_ns=sim_ms * MILLISECOND, seed=7)
+    return ExperimentConfig.bench_profile(
+        system="vertigo", bg_load=0.2, incast_qps=80.0, incast_scale=6,
+        sim_time_ns=sim_ms * MILLISECOND, seed=7)
+
+
+def fail(stage: str, message: str) -> int:
+    print(f"workload-smoke: FAIL [{stage}]: {message}", file=sys.stderr)
+    return 1
+
+
+def row_for(label: str, result) -> dict:
+    summary = result.report().summary
+    return {
+        "config": label,
+        "flows_recorded": len(result.metrics.flows),
+        "coflows_launched": result.coflows_launched,
+        "mean_fct_s": summary["mean_fct_s"],
+        "p99_fct_s": summary["p99_fct_s"],
+        "mean_cct_s": summary.get("mean_cct_s"),
+        "coflow_completion_pct": summary.get("coflow_completion_pct"),
+        "goodput_gbps": summary["goodput_gbps"],
+        "drop_pct": summary["drop_pct"],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sim-ms", type=int, default=15)
+    parser.add_argument("--out", default="workload_smoke_report.json")
+    args = parser.parse_args(argv)
+
+    checks = {}
+    rows = []
+
+    coflow = run_experiment(coflow_config(args.sim_ms))
+    rows.append(row_for("coflow:width=4,stages=2", coflow))
+    checks["coflow_cct_present"] = \
+        "mean_cct_s" in coflow.report().row()
+    checks["coflow_completed_some"] = any(
+        c.completed for c in coflow.metrics.coflows.values())
+    repeat = run_experiment(coflow_config(args.sim_ms))
+    checks["coflow_digest_stable"] = \
+        run_digest(coflow) == run_digest(repeat)
+
+    duty_digests = {}
+    for duty in (1.0, 0.25):
+        result = run_experiment(duty_config(duty, args.sim_ms))
+        rows.append(row_for(f"duty_cycle:duty={duty}", result))
+        repeat = run_experiment(duty_config(duty, args.sim_ms))
+        duty_digests[duty] = (run_digest(result), run_digest(repeat))
+        checks[f"duty_{duty}_window_applied"] = (
+            result.metrics.window_start > 0
+            and result.metrics.window_end is not None)
+    checks["duty_digest_stable"] = all(
+        first == second for first, second in duty_digests.values())
+    checks["duty_points_distinct"] = \
+        duty_digests[1.0][0] != duty_digests[0.25][0]
+
+    flat = run_experiment(legacy_config(args.sim_ms, explicit=False))
+    explicit = run_experiment(legacy_config(args.sim_ms, explicit=True))
+    rows.append(row_for("legacy flat kwargs", flat))
+    checks["legacy_specs_digest_identical"] = \
+        run_digest(flat) == run_digest(explicit)
+
+    report = {"sim_ms": args.sim_ms, "rows": rows, "checks": checks}
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+    print(json.dumps(report, indent=2, sort_keys=True))
+
+    for name, ok in sorted(checks.items()):
+        if not ok:
+            return fail(name, json.dumps(rows))
+    print("workload-smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -48,8 +48,17 @@ from repro.faults import FaultSpec, parse_faults
 from repro.net import FatTree, LeafSpine
 from repro.runtime import SupervisorPolicy, SweepReport, run_supervised
 from repro.trace import TraceConfig
+from repro.workload import (
+    BackgroundSpec,
+    CoflowSpec,
+    DutyCycleSpec,
+    IncastSpec,
+    SkewSpec,
+    WorkloadSpec,
+    parse_workloads,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Experiment",
@@ -65,6 +74,13 @@ __all__ = [
     "TraceConfig",
     "FaultSpec",
     "parse_faults",
+    "WorkloadSpec",
+    "BackgroundSpec",
+    "IncastSpec",
+    "CoflowSpec",
+    "DutyCycleSpec",
+    "SkewSpec",
+    "parse_workloads",
     "LeafSpine",
     "FatTree",
     "__version__",

@@ -26,13 +26,16 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Union
 
-from repro.experiments.config import ExperimentConfig
+from dataclasses import replace as _replace
+
+from repro.experiments.config import ExperimentConfig, WorkloadConfig
 from repro.experiments.parallel import run_many
 from repro.experiments.runner import RunResult, run_experiment
-from repro.faults.spec import FaultSpec, parse_faults
+from repro.faults.spec import FaultSpec, parse_faults, parse_time_ns
 from repro.net.topology import Topology
 from repro.sim.units import MILLISECOND
 from repro.trace.tracer import TraceConfig
+from repro.workload.spec import WorkloadSpec, parse_workload
 
 __all__ = ["Experiment"]
 
@@ -62,6 +65,9 @@ class Experiment:
         self._seed: Optional[int] = None
         self._sim_time_ns: Optional[int] = None
         self._faults: tuple = ()
+        self._workload_specs: Optional[tuple] = None
+        self._warmup_ns: Optional[int] = None
+        self._cooldown_ns: Optional[int] = None
         self._trace: Optional[TraceConfig] = None
         self._telemetry_interval_ns: Optional[int] = None
         self._sanitize = False
@@ -102,8 +108,35 @@ class Experiment:
         self._transport_overrides = dict(overrides)
         return self
 
-    def workload(self, **workload_kwargs) -> "Experiment":
-        """Set workload knobs (``bg_load``, ``incast_load``, ...)."""
+    def workload(self, *specs: Union[str, WorkloadSpec],
+                 warmup: Optional[Union[int, str]] = None,
+                 cooldown: Optional[Union[int, str]] = None,
+                 **workload_kwargs) -> "Experiment":
+        """Set the traffic mix.
+
+        Positional arguments compose a spec-based workload:
+        :class:`~repro.workload.spec.WorkloadSpec` objects and/or
+        ``--workload`` directive strings (``"coflow:width=8,stages=2"``,
+        see :func:`repro.workload.spec.parse_workload`), replacing the
+        profile's default mix.  ``warmup``/``cooldown`` trim the
+        measurement window (int ns or a time string like ``"10ms"``).
+        Keyword arguments are the legacy flat knobs (``bg_load``,
+        ``incast_load``, ...) routed through the profile; the two styles
+        are mutually exclusive.
+        """
+        if specs and workload_kwargs:
+            raise ValueError("give either workload specs or the legacy "
+                             "flat kwargs, not both")
+        if specs:
+            self._workload_specs = tuple(
+                spec if isinstance(spec, WorkloadSpec)
+                else parse_workload(spec) for spec in specs)
+        if warmup is not None:
+            self._warmup_ns = parse_time_ns(warmup) \
+                if isinstance(warmup, str) else warmup
+        if cooldown is not None:
+            self._cooldown_ns = parse_time_ns(cooldown) \
+                if isinstance(cooldown, str) else cooldown
         self._profile_kwargs.update(workload_kwargs)
         return self
 
@@ -202,6 +235,13 @@ class Experiment:
             else:
                 config = ExperimentConfig.bench_profile(
                     system=self._system, transport=self._transport, **kwargs)
+        if self._workload_specs is not None:
+            config.workload = WorkloadConfig(self._workload_specs)
+        if self._warmup_ns is not None or self._cooldown_ns is not None:
+            config.workload = _replace(
+                config.workload,
+                warmup_ns=self._warmup_ns or 0,
+                cooldown_ns=self._cooldown_ns or 0)
         if self._transport_overrides:
             config.transport = config.transport.with_overrides(
                 **self._transport_overrides)

@@ -5,6 +5,9 @@ Subcommands::
     python -m repro run   --system vertigo --transport dctcp \\
         --bg-load 0.5 --incast-load 0.25 --sim-ms 200 \\
         --trace out.jsonl --trace-level packet --sample-us 100
+    python -m repro run   --system vertigo --sim-ms 100 \\
+        --workload coflow:width=8,stages=2,load=0.2 \\
+        --workload background:load=0.2 --warmup 10ms --cooldown 10ms
     python -m repro sweep --systems ecmp,drill,dibs,vertigo --seeds 3
     python -m repro lint  src
     python -m repro perf  --quick
@@ -22,11 +25,19 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.experiments.config import ALL_SYSTEMS, ExperimentConfig
+from dataclasses import replace as _replace
+
+from repro.experiments.config import (
+    ALL_SYSTEMS,
+    ExperimentConfig,
+    WorkloadConfig,
+)
 from repro.experiments.parallel import resolve_jobs
 from repro.experiments.runner import run_experiment
 from repro.experiments.sweeps import format_table, sweep
 from repro.faults import parse_faults
+from repro.faults.spec import parse_time_ns
+from repro.workload.spec import parse_workloads
 from repro.net.fidelity import FIDELITY_MODES, FidelityConfig
 from repro.net.pfc import PfcConfig
 from repro.net.topology import FatTree
@@ -101,6 +112,22 @@ def _add_experiment_arguments(parser: argparse.ArgumentParser) -> None:
                              "link:leaf0-h3:rate=40mbps@10ms or "
                              "link:leaf0-spine1:loss=0.01@0ms; "
                              "repeatable")
+    parser.add_argument("--workload", action="append", default=[],
+                        metavar="SPEC", dest="workloads",
+                        help="compose the traffic mix from workload specs "
+                             "(replaces --bg-load/--incast-* when given), "
+                             "e.g. background:load=0.3,dist=web_search or "
+                             "incast:scale=24,load=0.1 or "
+                             "coflow:width=8,stages=2,load=0.2 or "
+                             "duty_cycle:load=0.3,duty=0.1,period=1ms; "
+                             "add skew=zipf|hotrack|permutation for a "
+                             "skewed matrix; repeatable")
+    parser.add_argument("--warmup", default=None, metavar="TIME",
+                        help="exclude flows starting in the first TIME "
+                             "(e.g. 10ms) from all summary metrics")
+    parser.add_argument("--cooldown", default=None, metavar="TIME",
+                        help="exclude flows starting in the last TIME "
+                             "from all summary metrics")
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
                         help="worker processes for multi-run invocations "
                              "(default REPRO_JOBS, else serial; "
@@ -163,6 +190,16 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
             incast_flow_bytes=args.incast_flow_bytes,
             sim_time_ns=args.sim_ms * MILLISECOND,
             topology=topology, seed=args.seed)
+    if args.workloads:
+        # A spec-composed mix replaces the profile's default generators
+        # (the --bg-load/--incast-* knobs are ignored when --workload
+        # is given).
+        config.workload = WorkloadConfig(parse_workloads(args.workloads))
+    if args.warmup or args.cooldown:
+        config.workload = _replace(
+            config.workload,
+            warmup_ns=parse_time_ns(args.warmup) if args.warmup else 0,
+            cooldown_ns=parse_time_ns(args.cooldown) if args.cooldown else 0)
     config.sanitize = args.sanitize
     config.faults = parse_faults(args.faults)
     config.trace = _trace_config_from_args(args)

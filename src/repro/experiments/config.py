@@ -17,8 +17,9 @@ Two constructors cover the common cases:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple, Union
 
 from repro.core.flowinfo import MarkingDiscipline
 from repro.core.ordering import DEFAULT_TIMEOUT_NS
@@ -36,6 +37,7 @@ from repro.net.topology import (
 from repro.sim.units import MILLISECOND, SECOND, gbps, kb, mbps, usecs
 from repro.trace.tracer import TraceConfig
 from repro.transport.base import TransportConfig
+from repro.workload.spec import WorkloadSpec, specs_from_legacy
 
 #: The four systems the paper compares (§4.1).
 BENCH_SYSTEMS = ("ecmp", "drill", "dibs", "vertigo")
@@ -72,25 +74,126 @@ class SystemConfig:
                              f"choose from {ALL_SYSTEMS}")
 
 
-@dataclass(frozen=True)
+#: The historical flat WorkloadConfig kwargs, accepted via the
+#: deprecation shim and normalized to specs by ``specs_from_legacy``.
+_LEGACY_WORKLOAD_KEYS = ("bg_load", "bg_distribution", "bg_size_cap",
+                         "incast_load", "incast_qps", "incast_scale",
+                         "incast_flow_bytes")
+
+
+@dataclass(frozen=True, init=False)
 class WorkloadConfig:
-    """Traffic mix: background load plus incast queries."""
+    """Traffic mix: an ordered list of composable workload specs.
 
-    bg_load: float = 0.15
-    bg_distribution: str = "cache_follower"
-    bg_size_cap: Optional[int] = None   # truncate the size tail (benches)
-    incast_load: Optional[float] = None  # fraction of host bandwidth, or...
-    incast_qps: Optional[float] = None   # ...an explicit query rate
-    incast_scale: int = 100
-    incast_flow_bytes: int = 40_000
+    ``specs`` holds :class:`~repro.workload.spec.WorkloadSpec` entries
+    (``background``, ``incast``, ``coflow``, ``duty_cycle``), resolved
+    by the generator registry (:mod:`repro.workload.registry`) in
+    order.  ``warmup_ns``/``cooldown_ns`` trim the measurement window:
+    flows, queries, and coflows starting in the first ``warmup_ns`` or
+    last ``cooldown_ns`` of the run are excluded from every summary
+    statistic (see :meth:`MetricsCollector.set_window`).
 
-    def __post_init__(self) -> None:
-        if self.incast_load is not None and self.incast_qps is not None:
-            raise ValueError("give either incast_load or incast_qps")
+    The historical flat kwargs (``bg_load=``, ``incast_scale=``, ...)
+    still construct a config — they normalize to a background+incast
+    spec pair with a DeprecationWarning, and the resulting runs are
+    digest-identical to the pre-spec implementation.  Matching read
+    accessors (``.bg_load``, ``.incast_qps``, ...) derive from the
+    first spec of the relevant kind.  Profile constructors use
+    :meth:`from_legacy`, the warning-free shim.
+    """
+
+    specs: Tuple[WorkloadSpec, ...] = ()
+    warmup_ns: int = 0
+    cooldown_ns: int = 0
+
+    def __init__(self, specs: Optional[Sequence[WorkloadSpec]] = None, *,
+                 warmup_ns: int = 0, cooldown_ns: int = 0,
+                 **legacy) -> None:
+        if legacy:
+            unknown = [key for key in legacy
+                       if key not in _LEGACY_WORKLOAD_KEYS]
+            if unknown:
+                raise TypeError(f"unknown WorkloadConfig arguments "
+                                f"{unknown}; give a list of WorkloadSpec "
+                                f"entries or the legacy "
+                                f"{list(_LEGACY_WORKLOAD_KEYS)} kwargs")
+            if specs is not None:
+                raise TypeError("give either specs or the legacy flat "
+                                "kwargs, not both")
+            warnings.warn(
+                "flat WorkloadConfig kwargs are deprecated; pass a list "
+                "of workload specs (BackgroundSpec, IncastSpec, ...) "
+                "instead", DeprecationWarning, stacklevel=2)
+            specs = specs_from_legacy(**legacy)
+        elif specs is None:
+            # The historical default mix: 15 % cache-follower background,
+            # incast inactive.
+            specs = specs_from_legacy()
+        specs = tuple(specs)
+        for spec in specs:
+            if not isinstance(spec, WorkloadSpec):
+                raise TypeError(f"workload specs must be WorkloadSpec "
+                                f"instances, got {spec!r}")
+        if warmup_ns < 0 or cooldown_ns < 0:
+            raise ValueError("warmup and cooldown must be non-negative")
+        object.__setattr__(self, "specs", specs)
+        object.__setattr__(self, "warmup_ns", warmup_ns)
+        object.__setattr__(self, "cooldown_ns", cooldown_ns)
+
+    @classmethod
+    def from_legacy(cls, **legacy) -> "WorkloadConfig":
+        """The flat-kwarg surface without the deprecation warning —
+        what the profile constructors build on."""
+        return cls(specs_from_legacy(**legacy))
+
+    def _first(self, kind: str) -> Optional[WorkloadSpec]:
+        for spec in self.specs:
+            if spec.kind == kind:
+                return spec
+        return None
+
+    # -- legacy read accessors (first spec of the kind, or the
+    # -- historical defaults when the kind is absent) -----------------------
+
+    @property
+    def bg_load(self) -> float:
+        spec = self._first("background")
+        return spec.load if spec is not None else 0.0
+
+    @property
+    def bg_distribution(self) -> str:
+        spec = self._first("background")
+        return spec.distribution if spec is not None else "cache_follower"
+
+    @property
+    def bg_size_cap(self) -> Optional[int]:
+        spec = self._first("background")
+        return spec.size_cap if spec is not None else None
+
+    @property
+    def incast_load(self) -> Optional[float]:
+        spec = self._first("incast")
+        return spec.load if spec is not None else None
+
+    @property
+    def incast_qps(self) -> Optional[float]:
+        spec = self._first("incast")
+        return spec.qps if spec is not None else None
+
+    @property
+    def incast_scale(self) -> int:
+        spec = self._first("incast")
+        return spec.scale if spec is not None else 100
+
+    @property
+    def incast_flow_bytes(self) -> int:
+        spec = self._first("incast")
+        return spec.flow_bytes if spec is not None else 40_000
 
     @property
     def total_load(self) -> float:
-        return self.bg_load + (self.incast_load or 0.0)
+        """Summed offered load of every load-driven spec."""
+        return sum(spec.offered_load for spec in self.specs)
 
 
 @dataclass
@@ -134,10 +237,27 @@ class ExperimentConfig:
 
     # -- profiles --------------------------------------------------------------------
 
+    @staticmethod
+    def _resolve_workload(workload, legacy_kwargs) -> WorkloadConfig:
+        """A profile's ``workload=`` parameter: a ready
+        :class:`WorkloadConfig`, a sequence of specs, or None (fall back
+        to the profile's legacy flat kwargs)."""
+        if workload is not None:
+            if legacy_kwargs:
+                raise TypeError(
+                    "give either workload= or the legacy bg_*/incast_* "
+                    "kwargs, not both")
+            if isinstance(workload, WorkloadConfig):
+                return workload
+            return WorkloadConfig(tuple(workload))
+        return WorkloadConfig.from_legacy(**legacy_kwargs)
+
     @classmethod
     def paper_profile(cls, system: str = "vertigo",
-                      transport: str = "dctcp", **workload_kwargs
-                      ) -> "ExperimentConfig":
+                      transport: str = "dctcp",
+                      workload: Optional[Union[WorkloadConfig,
+                                               Sequence[WorkloadSpec]]] = None,
+                      **workload_kwargs) -> "ExperimentConfig":
         """The paper's full-scale leaf-spine setup (§4.1)."""
         return cls(
             topology=paper_leaf_spine(),
@@ -146,7 +266,7 @@ class ExperimentConfig:
                                   buffer_bytes=kb(300)),
             system=SystemConfig(name=system),
             transport_name=transport,
-            workload=WorkloadConfig(**workload_kwargs),
+            workload=cls._resolve_workload(workload, workload_kwargs),
             sim_time_ns=5 * SECOND,
         )
 
@@ -158,6 +278,8 @@ class ExperimentConfig:
                       incast_scale: int = 12,
                       incast_flow_bytes: int = 10_000,
                       bg_distribution: str = "cache_follower",
+                      workload: Optional[Union[WorkloadConfig,
+                                               Sequence[WorkloadSpec]]] = None,
                       sim_time_ns: int = 200 * MILLISECOND,
                       topology: Optional[Topology] = None,
                       faults: Sequence[FaultSpec] = (),
@@ -183,6 +305,17 @@ class ExperimentConfig:
         """
         if topology is None:
             topology = LeafSpine(n_spines=4, n_leaves=8, hosts_per_leaf=4)
+        if workload is None:
+            workload = WorkloadConfig.from_legacy(
+                bg_load=bg_load,
+                bg_distribution=bg_distribution,
+                bg_size_cap=200_000,
+                incast_load=incast_load,
+                incast_qps=incast_qps,
+                incast_scale=incast_scale,
+                incast_flow_bytes=incast_flow_bytes)
+        else:
+            workload = cls._resolve_workload(workload, {})
         return cls(
             topology=topology,
             network=NetworkParams(host_rate_bps=mbps(200),
@@ -194,13 +327,7 @@ class ExperimentConfig:
             transport_name=transport,
             transport=TransportConfig(init_rto_ns=40 * MILLISECOND,
                                       min_rto_ns=10 * MILLISECOND),
-            workload=WorkloadConfig(bg_load=bg_load,
-                                    bg_distribution=bg_distribution,
-                                    bg_size_cap=200_000,
-                                    incast_load=incast_load,
-                                    incast_qps=incast_qps,
-                                    incast_scale=incast_scale,
-                                    incast_flow_bytes=incast_flow_bytes),
+            workload=workload,
             sim_time_ns=sim_time_ns,
             faults=tuple(faults),
             seed=seed,

@@ -21,9 +21,14 @@ from repro.experiments.runner import RunResult
 def run_digest(result: RunResult) -> str:
     """SHA-256 over a canonical JSON view of everything reportable."""
     metrics = result.metrics
+    # Flow tuples keep their historical 10-element shape; the coflow
+    # membership column is appended only when the run recorded coflows,
+    # so pre-coflow configurations hash identically.
+    coflow_tail = bool(metrics.coflows)
     flows = [
         (f.flow_id, f.src, f.dst, f.size, f.start_ns, f.end_ns,
          f.bytes_delivered, f.is_incast, f.query_id, f.retransmissions)
+        + ((f.coflow_id,) if coflow_tail else ())
         for f in sorted(metrics.flows.values(), key=lambda f: f.flow_id)
     ]
     queries = [
@@ -55,6 +60,16 @@ def run_digest(result: RunResult) -> str:
                     sorted([key[0], key[1], count] for key, count in
                            metrics.counters.class_drops.items())]}
            if result.config.pfc.configured else {}),
+        # Coflow lifecycles join the digest whenever the run recorded
+        # any; coflow-free runs hash identically to runs from before
+        # the coflow generator existed.
+        **({"coflows": [
+                (c.coflow_id, c.start_ns, c.n_flows, c.flows_done,
+                 c.end_ns, c.stages)
+                for c in sorted(metrics.coflows.values(),
+                                key=lambda c: c.coflow_id)],
+            "coflows_launched": result.coflows_launched}
+           if metrics.coflows else {}),
         "faults": [(spec.kind, list(spec.link), spec.at_ns, spec.rate_bps,
                     spec.loss_rate) for spec in result.config.faults],
         "drops": sorted(metrics.counters.drops.items()),

@@ -14,10 +14,14 @@ Schema (``to_dict()``), by section:
   ``flow_completion_pct``, ``query_completion_pct``, ``goodput_gbps``,
   ``drop_pct``, ``deflections``, ``mean_hops``, ``reordered``,
   ``retransmissions``).  The determinism digest hashes this row, so its
-  keys and values are stable by contract.
+  keys and values are stable by contract.  Runs that recorded coflows
+  append the :data:`COFLOW_ROW_KEYS` columns (``mean_cct_s``,
+  ``p99_cct_s``, ``coflow_completion_pct``); coflow-free rows keep the
+  historical shape exactly.
 - ``run`` — run identity and volume: ``seed``, ``sim_time_ns``,
   ``events_executed``, ``bg_flows_generated``, ``queries_issued``,
-  ``flows_recorded``, ``queries_recorded``.
+  ``flows_recorded``, ``queries_recorded`` (plus ``coflows_launched``
+  and ``coflows_recorded`` for coflow runs).
 - ``drops`` — per-reason drop counters (sorted by reason).
 - ``telemetry`` — congestion-monitor section (``mean_utilization``,
   ``microbursts``, ``persistent``, ``fault_events``, ``samples``) or
@@ -53,6 +57,11 @@ ROW_KEYS = (
     "query_completion_pct", "goodput_gbps", "drop_pct", "deflections",
     "mean_hops", "reordered", "retransmissions",
 )
+
+#: Coflow-completion-time columns, appended to the row only for runs
+#: that recorded coflows — coflow-free rows keep the historical
+#: :data:`ROW_KEYS` shape exactly (digest-stable).
+COFLOW_ROW_KEYS = ("mean_cct_s", "p99_cct_s", "coflow_completion_pct")
 
 
 @dataclass
@@ -93,6 +102,11 @@ class RunReport:
             "reordered": counters.reordered_arrivals,
             "retransmissions": counters.retransmissions,
         }
+        if metrics.coflows:
+            summary["mean_cct_s"] = metrics.mean_cct_s()
+            summary["p99_cct_s"] = metrics.p99_cct_s()
+            summary["coflow_completion_pct"] = \
+                metrics.coflow_completion_pct()
         run = {
             "seed": config.seed,
             "sim_time_ns": config.sim_time_ns,
@@ -102,6 +116,9 @@ class RunReport:
             "flows_recorded": len(metrics.flows),
             "queries_recorded": len(metrics.queries),
         }
+        if metrics.coflows:
+            run["coflows_launched"] = result.coflows_launched
+            run["coflows_recorded"] = len(metrics.coflows)
         telemetry = None
         if result.telemetry is not None:
             telemetry = result.telemetry.section()
@@ -127,8 +144,11 @@ class RunReport:
                         if result.pfc is not None else None))
 
     def row(self) -> Dict[str, object]:
-        """The paper-figure summary row (historical ``RunResult.row()``)."""
-        return {key: self.summary[key] for key in ROW_KEYS}
+        """The paper-figure summary row (historical ``RunResult.row()``),
+        extended by the CCT columns when the run recorded coflows."""
+        keys = ROW_KEYS + tuple(key for key in COFLOW_ROW_KEYS
+                                if key in self.summary)
+        return {key: self.summary[key] for key in keys}
 
     def to_dict(self) -> Dict[str, object]:
         """The full documented schema (see module docstring)."""

@@ -31,12 +31,7 @@ from repro.trace import hooks as _trace_hooks
 from repro.transport import TRANSPORTS
 from repro.transport.base import TransportConfig
 from repro.transport.dctcp import DEFAULT_MARKING_THRESHOLD_PKTS
-from repro.workload.background import BackgroundTraffic
-from repro.workload.distributions import get_distribution
-from repro.workload.incast import IncastApp, qps_for_load
-
-#: Named RNG streams this module owns (checked by lint rule VR110).
-RNG_STREAMS = ("background", "incast")
+from repro.workload.registry import WorkloadContext, build_workload
 
 
 def derive_ecn_threshold(params: NetworkParams, mss: int) -> int:
@@ -166,6 +161,8 @@ class RunResult:
     engine: Engine
     bg_flows_generated: int
     queries_issued: int
+    #: Coflows launched by coflow generators; 0 when none configured.
+    coflows_launched: int = 0
     telemetry: Optional[object] = None
     #: Detached observability record (``config.trace`` enabled), or None.
     trace: Optional[TraceData] = None
@@ -201,7 +198,8 @@ class RunResult:
             engine=EngineStats(now=self.engine.now,
                                events_executed=self.engine.events_executed),
             bg_flows_generated=self.bg_flows_generated,
-            queries_issued=self.queries_issued, telemetry=telemetry,
+            queries_issued=self.queries_issued,
+            coflows_launched=self.coflows_launched, telemetry=telemetry,
             trace=self.trace, profile=dict(self.profile),
             fidelity=self.fidelity, pfc=self.pfc)
 
@@ -283,16 +281,23 @@ def _run_experiment(config: ExperimentConfig) -> RunResult:
         flow_ids = itertools.count(1)
 
         def open_flow(src: int, dst: int, size: int, is_incast: bool = False,
-                      query_id: Optional[int] = None) -> None:
+                      query_id: Optional[int] = None,
+                      coflow_id: Optional[int] = None,
+                      on_done=None) -> None:
             flow_id = next(flow_ids)
             metrics.flow_started(flow_id, src, dst, size, engine.now,
-                                 is_incast=is_incast, query_id=query_id)
+                                 is_incast=is_incast, query_id=query_id,
+                                 coflow_id=coflow_id)
             src_host = network.hosts[src]
             dst_host = network.hosts[dst]
 
             def on_rx_done() -> None:
                 if dst_host.ordering is not None:
                     dst_host.ordering.flow_done(flow_id)
+                # Generator barrier callback (coflow stages); fires after
+                # metrics.flow_completed has recorded the flow.
+                if on_done is not None:
+                    on_done(flow_id)
 
             dst_host.open_receiver(flow_id, src, size,
                                    on_complete=on_rx_done)
@@ -304,32 +309,20 @@ def _run_experiment(config: ExperimentConfig) -> RunResult:
             sender.start()
 
         workload = config.workload
-        background = None
-        if workload.bg_load > 0:
-            sizes = get_distribution(workload.bg_distribution,
-                                     truncate_at=workload.bg_size_cap)
-            background = BackgroundTraffic(
-                engine, open_flow, config.topology.n_hosts,
-                network_params.host_rate_bps, workload.bg_load, sizes,
-                rng.stream("background"), until_ns=config.sim_time_ns)
-            background.start()
-
-        incast = None
-        qps = workload.incast_qps
-        if qps is None and workload.incast_load:
-            qps = qps_for_load(workload.incast_load,
-                               config.topology.n_hosts,
-                               network_params.host_rate_bps,
-                               workload.incast_scale,
-                               workload.incast_flow_bytes)
-        if qps:
-            incast = IncastApp(engine, open_flow, metrics,
-                               config.topology.n_hosts, qps,
-                               workload.incast_scale,
-                               workload.incast_flow_bytes,
-                               rng.stream("incast"),
-                               until_ns=config.sim_time_ns)
-            incast.start()
+        if workload.warmup_ns or workload.cooldown_ns:
+            window_end = config.sim_time_ns - workload.cooldown_ns
+            if workload.warmup_ns >= window_end:
+                raise ValueError(
+                    f"warmup ({workload.warmup_ns} ns) plus cooldown "
+                    f"({workload.cooldown_ns} ns) leave no measurement "
+                    f"window in a {config.sim_time_ns} ns run")
+            metrics.set_window(workload.warmup_ns, window_end)
+        generators = build_workload(workload, WorkloadContext(
+            engine=engine, open_flow=open_flow, metrics=metrics,
+            n_hosts=config.topology.n_hosts,
+            host_rate_bps=network_params.host_rate_bps,
+            rack_of=config.topology.host_tor, rng=rng,
+            until_ns=config.sim_time_ns))
 
         telemetry = None
         if config.telemetry_interval_ns:
@@ -383,8 +376,12 @@ def _run_experiment(config: ExperimentConfig) -> RunResult:
 
     return RunResult(
         config=config, metrics=metrics, network=network, engine=engine,
-        bg_flows_generated=background.flows_generated if background else 0,
-        queries_issued=incast.queries_issued if incast else 0,
+        bg_flows_generated=sum(getattr(g, "flows_generated", 0)
+                               for g in generators),
+        queries_issued=sum(getattr(g, "queries_issued", 0)
+                           for g in generators),
+        coflows_launched=sum(getattr(g, "coflows_launched", 0)
+                             for g in generators),
         telemetry=telemetry, trace=trace_data, profile=profiler.report(),
         fidelity=(fidelity.summary(engine.now)
                   if fidelity is not None else None),

@@ -58,6 +58,12 @@ EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
     "flow.rtx": ("flow", "seq", "tx_count"),
     "query.start": ("query", "client", "n_flows"),
     "query.end": ("query", "qct_ns"),
+    # Coflow lifecycle (both levels; see repro.workload.coflow).  A
+    # coflow spans every stage of one shuffle/partition–aggregate job;
+    # ``coflow.stage`` marks each stage barrier opening its flows.
+    "coflow.start": ("coflow", "pattern", "n_flows", "stages"),
+    "coflow.stage": ("coflow", "stage", "n_flows"),
+    "coflow.end": ("coflow", "cct_ns"),
     "cc.fastrtx": ("flow",),
     "cc.rto": ("flow", "rto_ns"),
     # Fidelity-mode transitions (both levels; see repro.net.fidelity).
@@ -250,6 +256,21 @@ class Tracer:
     def query_end(self, t: int, query: int, qct_ns: int) -> None:
         self.emitted_events += 1
         self._events.append(("query.end", t, query, qct_ns))
+
+    def coflow_start(self, t: int, coflow: int, pattern: str,
+                     n_flows: int, stages: int) -> None:
+        self.emitted_events += 1
+        self._events.append(("coflow.start", t, coflow, pattern, n_flows,
+                             stages))
+
+    def coflow_stage(self, t: int, coflow: int, stage: int,
+                     n_flows: int) -> None:
+        self.emitted_events += 1
+        self._events.append(("coflow.stage", t, coflow, stage, n_flows))
+
+    def coflow_end(self, t: int, coflow: int, cct_ns: int) -> None:
+        self.emitted_events += 1
+        self._events.append(("coflow.end", t, coflow, cct_ns))
 
     def cc_fastrtx(self, t: int, flow: int) -> None:
         self.emitted_events += 1

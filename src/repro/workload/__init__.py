@@ -1,4 +1,12 @@
-"""Workload generation: empirical background traffic and incast queries."""
+"""Workload generation: a pluggable, composable generator subsystem.
+
+Generators (empirical background traffic, incast queries, coflow
+shuffles, duty-cycle bursts) are described by frozen
+:class:`~repro.workload.spec.WorkloadSpec` entries, resolved by the
+registry (:mod:`repro.workload.registry`), and pick their endpoints
+through the shared skewed traffic-matrix layer
+(:mod:`repro.workload.matrix`).
+"""
 
 from repro.workload.distributions import (
     DISTRIBUTIONS,
@@ -7,8 +15,29 @@ from repro.workload.distributions import (
     data_mining,
     web_search,
 )
+from repro.workload.spec import (
+    BackgroundSpec,
+    CoflowSpec,
+    DutyCycleSpec,
+    IncastSpec,
+    SkewSpec,
+    WORKLOAD_KINDS,
+    WorkloadParseError,
+    WorkloadSpec,
+    parse_workload,
+    parse_workloads,
+    specs_from_legacy,
+)
+from repro.workload.matrix import NodeMatrix
 from repro.workload.background import BackgroundTraffic
 from repro.workload.incast import IncastApp
+from repro.workload.coflow import CoflowApp
+from repro.workload.dutycycle import DutyCycleTraffic
+from repro.workload.registry import (
+    GENERATOR_BUILDERS,
+    WorkloadContext,
+    build_workload,
+)
 
 __all__ = [
     "EmpiricalCDF",
@@ -18,4 +47,21 @@ __all__ = [
     "web_search",
     "BackgroundTraffic",
     "IncastApp",
+    "CoflowApp",
+    "DutyCycleTraffic",
+    "NodeMatrix",
+    "WorkloadSpec",
+    "BackgroundSpec",
+    "IncastSpec",
+    "CoflowSpec",
+    "DutyCycleSpec",
+    "SkewSpec",
+    "WORKLOAD_KINDS",
+    "WorkloadParseError",
+    "parse_workload",
+    "parse_workloads",
+    "specs_from_legacy",
+    "GENERATOR_BUILDERS",
+    "WorkloadContext",
+    "build_workload",
 ]

@@ -10,11 +10,12 @@ makes each host *send*, on average, ``L × host_rate`` bits per second.
 from __future__ import annotations
 
 import random
-from typing import Callable
+from typing import Callable, Optional
 
 from repro.sim.engine import Engine
 from repro.sim.units import SECOND
 from repro.workload.distributions import EmpiricalCDF
+from repro.workload.matrix import NodeMatrix
 
 #: open_flow(src, dst, size, is_incast, query_id) -> None
 FlowOpener = Callable[..., None]
@@ -37,12 +38,17 @@ class BackgroundTraffic:
 
     def __init__(self, engine: Engine, open_flow: FlowOpener, n_hosts: int,
                  host_rate_bps: int, load: float, sizes: EmpiricalCDF,
-                 rng: random.Random, until_ns: int) -> None:
+                 rng: random.Random, until_ns: int,
+                 matrix: Optional[NodeMatrix] = None) -> None:
         if n_hosts < 2:
             raise ValueError("background traffic needs at least two hosts")
         self.engine = engine
         self.open_flow = open_flow
         self.n_hosts = n_hosts
+        # All endpoint picks go through the shared traffic-matrix layer;
+        # the default uniform matrix reproduces the historical inline
+        # draws exactly (digest regression-tested).
+        self.matrix = matrix if matrix is not None else NodeMatrix(n_hosts)
         self.rng = rng
         self.sizes = sizes
         self.until_ns = until_ns
@@ -64,10 +70,8 @@ class BackgroundTraffic:
             self.engine.schedule_at(when, self._launch_flow)
 
     def _launch_flow(self) -> None:
-        src = self.rng.randrange(self.n_hosts)
-        dst = self.rng.randrange(self.n_hosts - 1)
-        if dst >= src:
-            dst += 1
+        src = self.matrix.pick_src(self.rng)
+        dst = self.matrix.pick_dst(self.rng, src)
         size = self.sizes.sample(self.rng)
         self.open_flow(src, dst, size, is_incast=False, query_id=None)
         self.flows_generated += 1

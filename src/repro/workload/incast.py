@@ -21,6 +21,7 @@ from typing import Callable, Optional
 from repro.metrics.collector import MetricsCollector
 from repro.sim.engine import Engine
 from repro.sim.units import SECOND
+from repro.workload.matrix import NodeMatrix
 
 FlowOpener = Callable[..., None]
 
@@ -40,7 +41,8 @@ class IncastApp:
     def __init__(self, engine: Engine, open_flow: FlowOpener,
                  metrics: MetricsCollector, n_hosts: int, qps: float,
                  scale: int, flow_bytes: int, rng: random.Random,
-                 until_ns: int, request_delay_ns: int = 2_000) -> None:
+                 until_ns: int, request_delay_ns: int = 2_000,
+                 matrix: Optional[NodeMatrix] = None) -> None:
         if scale >= n_hosts:
             raise ValueError(
                 f"incast scale {scale} must be below host count {n_hosts}")
@@ -48,6 +50,10 @@ class IncastApp:
         self.open_flow = open_flow
         self.metrics = metrics
         self.n_hosts = n_hosts
+        # Client and server picks go through the shared traffic-matrix
+        # layer; the default uniform matrix reproduces the historical
+        # inline draws exactly (digest regression-tested).
+        self.matrix = matrix if matrix is not None else NodeMatrix(n_hosts)
         self.qps = qps
         self.scale = scale
         self.flow_bytes = flow_bytes
@@ -72,7 +78,7 @@ class IncastApp:
             self.engine.schedule_at(when, self._issue_query)
 
     def _issue_query(self) -> None:
-        client = self.rng.randrange(self.n_hosts)
+        client = self.matrix.pick_src(self.rng)
         servers = self._pick_servers(client)
         query_id = next(self._query_ids)
         self.metrics.query_started(query_id, client, self.engine.now,
@@ -87,6 +93,4 @@ class IncastApp:
         self._schedule_next()
 
     def _pick_servers(self, client: int) -> list:
-        pool = list(range(self.n_hosts))
-        pool.remove(client)
-        return self.rng.sample(pool, self.scale)
+        return self.matrix.pick_servers(self.rng, client, self.scale)

@@ -12,18 +12,25 @@ from repro.net.topology import FatTree
 #: update README/DESIGN when this changes; removing one needs a
 #: deprecation shim in ``repro.__init__._DEPRECATED`` first.
 PUBLIC_SURFACE = [
+    "BackgroundSpec",
+    "CoflowSpec",
+    "DutyCycleSpec",
     "Experiment",
     "ExperimentConfig",
     "FatTree",
     "FaultSpec",
+    "IncastSpec",
     "LeafSpine",
     "RunReport",
     "RunResult",
+    "SkewSpec",
     "SupervisorPolicy",
     "SweepReport",
     "TraceConfig",
+    "WorkloadSpec",
     "__version__",
     "parse_faults",
+    "parse_workloads",
     "run_digest",
     "run_experiment",
     "run_supervised",
@@ -125,3 +132,23 @@ def test_paper_profile_overrides():
     assert config.system.name == "ecmp"
     assert config.sim_time_ns == 50_000_000
     assert config.seed == 9
+
+
+def test_builder_workload_specs_and_strings():
+    from repro import CoflowSpec
+
+    config = (Experiment.bench()
+              .workload(CoflowSpec(width=4, cps=500),
+                        "background:load=0.1,skew=zipf,zipf_s=1.4",
+                        warmup="2ms", cooldown=1_000_000)
+              .build())
+    kinds = [spec.kind for spec in config.workload.specs]
+    assert kinds == ["coflow", "background"]
+    assert config.workload.specs[1].skew.kind == "zipf"
+    assert config.workload.warmup_ns == 2_000_000
+    assert config.workload.cooldown_ns == 1_000_000
+
+
+def test_builder_workload_rejects_specs_plus_legacy_kwargs():
+    with pytest.raises(ValueError):
+        Experiment.bench().workload("background:load=0.1", bg_load=0.2)

@@ -177,3 +177,44 @@ def test_multi_seed_traces_concatenate_in_seed_order(tmp_path, capsys):
     seeds = [json.loads(line)["seed"] for line in open(jsonl)
              if '"trace.meta"' in line]
     assert seeds == [1, 2]
+
+
+def test_workload_directives_flow_through():
+    args = build_parser().parse_args([
+        "--workload", "coflow:width=4,stages=2,cps=500",
+        "--workload", "background:load=0.1",
+        "--warmup", "2ms", "--cooldown", "1ms"])
+    config = config_from_args(args)
+    kinds = [spec.kind for spec in config.workload.specs]
+    assert kinds == ["coflow", "background"]
+    assert config.workload.specs[0].width == 4
+    assert config.workload.warmup_ns == 2_000_000
+    assert config.workload.cooldown_ns == 1_000_000
+
+
+def test_warmup_applies_to_profile_workload():
+    args = build_parser().parse_args(["--warmup", "5ms"])
+    config = config_from_args(args)
+    assert config.workload.warmup_ns == 5_000_000
+    assert config.workload.bg_load == 0.5   # CLI default mix untouched
+
+
+def test_run_with_workload_reports_cct(capsys):
+    code = main(["run", "--system", "ecmp", "--sim-ms", "5",
+                 "--workload", "coflow:width=3,cps=2000,bytes=5000"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "mean_cct_s" in out
+
+
+def test_malformed_workload_is_one_line_usage_error(capsys):
+    """A bad --workload directive exits 2, mirroring --fault."""
+    for argv in (["run", *TINY, "--workload", "warp"],
+                 ["run", *TINY, "--workload", "coflow:pattern=ring"],
+                 ["sweep", "--systems", "ecmp", *TINY,
+                  "--workload", "background:load=much"]):
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        lines = [line for line in err.splitlines() if line]
+        assert len(lines) == 1
+        assert lines[0].startswith("repro: error:")

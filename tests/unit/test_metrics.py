@@ -128,3 +128,90 @@ def test_p99_uses_percentile():
         metrics.flow_completed(i, (i + 1) * SECOND)
     assert metrics.p99_fct_s() == pytest.approx(percentile(
         [float(i + 1) for i in range(100)], 99))
+
+
+# -- coflow accounting --------------------------------------------------------
+
+def test_coflow_completes_when_all_flows_do():
+    metrics = MetricsCollector()
+    metrics.coflow_started(1, start_ns=0, n_flows=2, stages=1)
+    metrics.flow_started(1, 0, 1, 100, 0, coflow_id=1)
+    metrics.flow_started(2, 2, 3, 100, 0, coflow_id=1)
+    metrics.flow_completed(1, SECOND)
+    assert not metrics.coflows[1].completed
+    metrics.flow_completed(2, 3 * SECOND)
+    assert metrics.coflows[1].completed
+    assert metrics.coflows[1].cct_ns == 3 * SECOND
+    assert metrics.mean_cct_s() == 3.0
+    assert metrics.coflow_completion_pct() == 100.0
+    assert metrics.cct_samples_s() == [3.0]
+
+
+def test_incomplete_coflow_stats():
+    metrics = MetricsCollector()
+    assert math.isnan(metrics.mean_cct_s())
+    assert math.isnan(metrics.coflow_completion_pct())
+    metrics.coflow_started(1, start_ns=0, n_flows=2, stages=1)
+    metrics.flow_started(1, 0, 1, 100, 0, coflow_id=1)
+    metrics.flow_completed(1, SECOND)
+    assert metrics.coflow_completion_pct() == 0.0
+    assert math.isnan(metrics.p99_cct_s())
+
+
+# -- measurement window -------------------------------------------------------
+
+def test_window_excludes_warmup_and_cooldown_starts():
+    metrics = MetricsCollector()
+    metrics.set_window(SECOND, 3 * SECOND)
+    # Starts at 0 (warmup), 2s (inside), 3s (cooldown; window is half-open).
+    for flow_id, start in ((1, 0), (2, 2 * SECOND), (3, 3 * SECOND)):
+        metrics.flow_started(flow_id, 0, 1, 100, start)
+        metrics.flow_completed(flow_id, start + SECOND)
+    assert metrics.fct_samples_s() == [1.0]
+    assert metrics.flow_completion_pct() == 100.0
+
+
+def test_window_counts_straddling_flow_exactly_once():
+    metrics = MetricsCollector()
+    metrics.set_window(SECOND, 3 * SECOND)
+    # Starts inside the window, completes after it: counted (once, by
+    # its start side), even though it ends past window_end.
+    metrics.flow_started(1, 0, 1, 100, 2 * SECOND)
+    metrics.flow_completed(1, 5 * SECOND)
+    # Starts before the window, ends inside it: not counted.
+    metrics.flow_started(2, 0, 1, 100, 0)
+    metrics.flow_completed(2, 2 * SECOND)
+    assert metrics.fct_samples_s() == [3.0]
+    assert metrics.flow_completion_pct() == 100.0
+
+
+def test_window_applies_to_queries_and_coflows():
+    metrics = MetricsCollector()
+    metrics.set_window(SECOND, None)
+    metrics.query_started(1, client=0, start_ns=0, n_flows=1)
+    metrics.flow_started(1, 1, 0, 100, 0, is_incast=True, query_id=1)
+    metrics.flow_completed(1, 2 * SECOND)
+    metrics.coflow_started(1, start_ns=0, n_flows=1, stages=1)
+    metrics.flow_started(2, 0, 1, 100, 0, coflow_id=1)
+    metrics.flow_completed(2, 2 * SECOND)
+    assert metrics.qct_samples_s() == []
+    assert metrics.cct_samples_s() == []
+    assert math.isnan(metrics.query_completion_pct())
+    assert math.isnan(metrics.coflow_completion_pct())
+
+
+def test_window_goodput_uses_window_span():
+    metrics = MetricsCollector()
+    metrics.set_window(SECOND, 2 * SECOND)
+    metrics.flow_started(1, 0, 1, 1000, 0)            # excluded
+    metrics.flow_completed(1, SECOND // 2)
+    metrics.flow_started(2, 0, 1, 1000, SECOND)       # included
+    metrics.flow_completed(2, 2 * SECOND)
+    # duration_ns argument is overridden by the 1 s window span.
+    assert metrics.goodput_bps(10 * SECOND) == pytest.approx(8000.0)
+
+
+def test_window_validation():
+    metrics = MetricsCollector()
+    with pytest.raises(ValueError):
+        metrics.set_window(SECOND, SECOND)
