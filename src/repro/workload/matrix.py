@@ -97,8 +97,17 @@ class NodeMatrix:
         # Rotate any fixed points among themselves so every host sends
         # to a partner other than itself.
         fixed = [i for i in range(self.n_hosts) if perm[i] == i]
-        for k, i in enumerate(fixed):
-            perm[i] = fixed[(k + 1) % len(fixed)]
+        if len(fixed) == 1:
+            # A lone fixed point cannot rotate with itself; swap it with
+            # a neighbour instead.  Since i was the only host mapping to
+            # i, perm[j] != i, so the transposition leaves perm[i] != i
+            # and perm[j] = i != j — no new fixed point.
+            i = fixed[0]
+            j = (i + 1) % self.n_hosts
+            perm[i], perm[j] = perm[j], perm[i]
+        else:
+            for k, i in enumerate(fixed):
+                perm[i] = fixed[(k + 1) % len(fixed)]
         return perm
 
     def _weighted(self, rng) -> int:
@@ -120,6 +129,10 @@ class NodeMatrix:
         if self._cum is None:
             dst = rng.randrange(self.n_hosts - 1)
             return dst + 1 if dst >= src else dst
+        if self._eligible - (1 if self._host_eligible(src) else 0) < 1:
+            raise ValueError(
+                f"{self.skew.kind} skew leaves no pickable destination "
+                f"other than host {src}")
         while True:
             dst = self._weighted(rng)
             if dst != src:

@@ -114,6 +114,18 @@ def test_permutation_is_fixed_derangement():
     assert rng.getstate() == state_before
 
 
+def test_permutation_has_no_fixed_point_across_seed_sweep():
+    # A shuffle leaves exactly one fixed point with probability ~1/e;
+    # the old rotation fix-up was a no-op in that case and let hosts
+    # send to themselves.  Sweep many setup seeds to cover it.
+    for seed in range(2000):
+        matrix = NodeMatrix(8, SkewSpec(kind="permutation"),
+                            setup_rng=random.Random(seed))
+        perm = matrix._perm
+        assert sorted(perm) == list(range(8)), seed   # still a bijection
+        assert all(perm[i] != i for i in range(8)), seed
+
+
 def test_permutation_needs_setup_rng():
     with pytest.raises(ValueError):
         NodeMatrix(16, SkewSpec(kind="permutation"))
@@ -139,3 +151,16 @@ def test_pick_servers_rejects_impossible_count():
     matrix = NodeMatrix(8)
     with pytest.raises(ValueError):
         matrix.pick_servers(random.Random(0), 0, 8)
+
+
+def test_pick_dst_rejects_src_as_only_eligible_host():
+    # hot_fraction=1.0 with a single-host hot rack gives every other
+    # host weight 0: picking a destination for that host must raise
+    # instead of spinning in the rejection loop forever.
+    skew = SkewSpec(kind="hotrack", hot_fraction=1.0, hot_racks=1)
+    matrix = NodeMatrix(8, skew, rack_of=lambda h: f"leaf{h}")
+    rng = random.Random(0)
+    with pytest.raises(ValueError):
+        matrix.pick_dst(rng, 0)
+    # Other sources still resolve (to the lone hot host).
+    assert matrix.pick_dst(rng, 1) == 0
