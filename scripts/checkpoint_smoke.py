@@ -1,0 +1,189 @@
+#!/usr/bin/env python
+"""Checkpoint smoke: SIGKILL at ~50% simulated time, restore — digests match.
+
+The CI ``checkpoint-smoke`` job runs this script as the end-to-end
+guarantee of in-run checkpoint/restore (:mod:`repro.checkpoint`):
+
+1. run the reference bench point undisturbed and record its digest;
+2. run it again with checkpointing on: the digest must be identical —
+   checkpointing is observationally invisible;
+3. fork the same run, SIGKILL the child once its progress sidecar shows
+   the simulated clock past the halfway mark, then re-run the command:
+   it must auto-restore from the managed checkpoint and finish with the
+   reference digest, byte for byte;
+4. repeat the kill-restore cycle through the pooled supervisor
+   (``--jobs 2``) with a run timeout tight enough to preempt: each point
+   must resume from its checkpoint across attempts and still match.
+
+Stages 2–4 run under both packet and hybrid fidelity.  Exit status 0
+when every digest matches, 1 (with a diagnostic on stderr) otherwise.
+A JSON report is written for CI artifact upload.  Usage::
+
+    PYTHONPATH=src python scripts/checkpoint_smoke.py [--sim-ms M]
+"""
+
+import argparse
+import dataclasses
+import json
+import multiprocessing
+import os
+import signal
+import sys
+import tempfile
+import time
+
+from repro.checkpoint import CheckpointConfig, read_progress
+from repro.experiments import run_experiment
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.digest import config_digest, run_digest
+from repro.runtime import SupervisorPolicy, run_supervised
+from repro.sim.units import MILLISECOND
+
+REPORT_PATH = "checkpoint_smoke_report.json"
+FIDELITIES = ("packet", "hybrid")
+
+
+def make_config(fidelity: str, sim_ms: int, seed: int = 7):
+    config = ExperimentConfig.bench_profile(
+        system="vertigo", transport="dctcp", bg_load=0.2,
+        incast_qps=60, incast_scale=6, sim_time_ns=sim_ms * MILLISECOND,
+        seed=seed)
+    config.fidelity = dataclasses.replace(config.fidelity, mode=fidelity)
+    return config
+
+
+def checkpointed(config, directory: str, every_ms: float = 10.0):
+    config.checkpoint = CheckpointConfig.every_ms(every_ms,
+                                                  directory=directory)
+    return config
+
+
+def fail(stage: str, message: str) -> int:
+    print(f"checkpoint-smoke: FAIL [{stage}]: {message}", file=sys.stderr)
+    return 1
+
+
+def kill_at_half(config, path: str) -> int:
+    """Fork a child running ``config``; SIGKILL it past ~50% sim time.
+
+    Returns the simulated time (ns) the progress sidecar showed when the
+    kill was sent.
+    """
+    half = config.sim_time_ns // 2
+    child = multiprocessing.get_context("fork").Process(
+        target=run_experiment, args=(config,))
+    child.start()
+    killed_at = None
+    try:
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            progress = read_progress(path)
+            if progress and progress["sim_now_ns"] >= half:
+                killed_at = progress["sim_now_ns"]
+                break
+            if not child.is_alive():
+                raise RuntimeError("child finished before the kill — "
+                                   "raise --sim-ms")
+            time.sleep(0.005)
+        else:
+            raise RuntimeError("child never reached the halfway mark")
+    finally:
+        if child.is_alive():
+            os.kill(child.pid, signal.SIGKILL)
+        child.join()
+    if child.exitcode != -signal.SIGKILL:
+        raise RuntimeError(f"child exited {child.exitcode}, not SIGKILL")
+    return killed_at
+
+
+def stage_serial(fidelity: str, sim_ms: int, tmp: str, report: dict) -> int:
+    reference = run_digest(run_experiment(make_config(fidelity, sim_ms)))
+
+    ticked = run_experiment(checkpointed(make_config(fidelity, sim_ms), tmp))
+    if run_digest(ticked) != reference:
+        return fail(f"invisible-{fidelity}",
+                    "digest changed when checkpointing was enabled")
+
+    config = checkpointed(make_config(fidelity, sim_ms), tmp)
+    path = config.checkpoint.resolve_path(config_digest(config))
+    killed_at = kill_at_half(config, path)
+    if not os.path.exists(path):
+        return fail(f"kill-{fidelity}", "no checkpoint survived the kill")
+
+    resumed = run_experiment(checkpointed(make_config(fidelity, sim_ms), tmp))
+    lineage = resumed.checkpoint or {}
+    if lineage.get("restored_from_ns") is None:
+        return fail(f"restore-{fidelity}",
+                    "resumed run did not restore from the checkpoint")
+    if run_digest(resumed) != reference:
+        return fail(f"restore-{fidelity}",
+                    "restored digest diverged from uninterrupted baseline")
+    report[f"serial-{fidelity}"] = {
+        "reference_digest": reference,
+        "killed_at_sim_ns": killed_at,
+        "restored_from_ns": lineage["restored_from_ns"],
+        "checkpoints_written": lineage["checkpoints_written"],
+    }
+    print(f"checkpoint-smoke: serial {fidelity} ok (killed at "
+          f"{killed_at / MILLISECOND:.1f} ms, restored from "
+          f"{lineage['restored_from_ns'] / MILLISECOND:.1f} ms, "
+          f"digest matches)")
+    return 0
+
+
+def stage_pool(fidelity: str, sim_ms: int, tmp: str, report: dict) -> int:
+    """Preempt pooled runs with a tight run timeout; all must resume."""
+    seeds = (7, 8)
+    reference = [run_digest(run_experiment(make_config(fidelity, sim_ms,
+                                                       seed=seed)))
+                 for seed in seeds]
+    configs = [checkpointed(make_config(fidelity, sim_ms, seed=seed), tmp,
+                            every_ms=max(sim_ms / 4, 5))
+               for seed in seeds]
+    policy = SupervisorPolicy(run_timeout_s=0.6, preempt_grace_s=10.0,
+                              max_retries=10, backoff_base_s=0.02,
+                              backoff_cap_s=0.1)
+    result = run_supervised(configs, jobs=2, policy=policy)
+    if not result.ok:
+        return fail(f"pool-{fidelity}",
+                    f"lost points: {result.manifest()['failures']}")
+    digests = [run_digest(r) for r in result.results]
+    if digests != reference:
+        return fail(f"pool-{fidelity}",
+                    "pooled resume digest diverged from reference")
+    attempts = [o.attempts for o in result.outcomes]
+    report[f"pool-{fidelity}"] = {"attempts": attempts,
+                                  "reference_digests": reference}
+    print(f"checkpoint-smoke: pool {fidelity} ok (attempts {attempts}, "
+          f"digests match)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sim-ms", type=int, default=40,
+                        help="simulated ms per run (default 40)")
+    args = parser.parse_args(argv)
+
+    report = {"sim_ms": args.sim_ms}
+    status = 0
+    with tempfile.TemporaryDirectory(prefix="checkpoint-smoke-") as tmp:
+        for fidelity in FIDELITIES:
+            status = stage_serial(fidelity, args.sim_ms, tmp, report)
+            if status:
+                break
+            status = stage_pool(fidelity, args.sim_ms, tmp, report)
+            if status:
+                break
+
+    with open(REPORT_PATH, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    if status == 0:
+        print("checkpoint-smoke: PASS (SIGKILL + preemption restores are "
+              "digest-identical under packet and hybrid fidelity)")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

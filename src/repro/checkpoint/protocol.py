@@ -1,0 +1,63 @@
+"""The ``Snapshot`` protocol: explicit state enumeration for checkpoints.
+
+A checkpoint of a live simulation is one pickle of the connected object
+graph (engine, network, transports, workload generators, ...).  Pickle
+would happily serialize ``__dict__`` wholesale, but that makes state
+coverage *implicit*: a new mutable attribute added to a component is
+silently included — or, for ``__slots__`` classes, silently dropped —
+and nothing reviews the decision.
+
+Stateful components therefore implement this protocol instead: they
+declare every instance attribute in ``SNAPSHOT_ATTRS`` (a literal tuple,
+so the checkpoint-coverage lint pass of VR120 can read it from the AST),
+and ``snapshot_state()`` / ``restore_state()`` enumerate exactly those.
+The protocol is wired into ``__getstate__`` / ``__setstate__`` so plain
+pickling of the object graph flows through the explicit enumeration —
+one mechanism serves in-run checkpoints, worker-process transfer, and
+the lint.
+
+Subclasses extend the declaration rather than replace it::
+
+    class RankedQueue(_BoundedQueue):
+        SNAPSHOT_ATTRS = _BoundedQueue.SNAPSHOT_ATTRS + ("_ranked",)
+
+What is deliberately *not* snapshotted lives outside these classes (see
+DESIGN.md "Checkpoint/restore"): wall-clock profiling, process-global
+trace hook activation, and the module-level packet-uid counter (identity
+only, re-watermarked on restore).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+
+class Snapshot:
+    """Mixin: explicit, lintable snapshot/restore of instance state.
+
+    ``SNAPSHOT_ATTRS`` must name *every* instance attribute, mutable or
+    not — restore rebuilds the object from the enumeration alone, with
+    no ``__init__`` replay.  The VR120 checkpoint-coverage lint flags
+    attributes assigned in methods but missing from the declaration.
+    """
+
+    # Slot-free mixin: ``__slots__``-based components keep their compact
+    # layout (no __dict__ is added by inheriting the protocol).
+    __slots__ = ()
+
+    SNAPSHOT_ATTRS: Tuple[str, ...] = ()
+
+    def snapshot_state(self) -> Dict[str, object]:
+        """Capture the declared attributes as a plain dict."""
+        return {name: getattr(self, name) for name in self.SNAPSHOT_ATTRS}
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Reinstate a :meth:`snapshot_state` capture onto this object."""
+        for name in self.SNAPSHOT_ATTRS:
+            setattr(self, name, state[name])
+
+    def __getstate__(self) -> Dict[str, object]:
+        return self.snapshot_state()
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.restore_state(state)

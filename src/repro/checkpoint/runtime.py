@@ -1,0 +1,75 @@
+"""Preemption signaling for checkpointed runs.
+
+SIGTERM (and, for foreground single runs, SIGINT) must not kill a
+checkpointed run mid-event: signal handlers can fire between any two
+bytecodes, where the simulation graph is not at a consistent boundary.
+The handlers here therefore only set a flag; the runner's epoch loop
+polls :func:`preemption_requested` at checkpoint boundaries, writes a
+final checkpoint, and raises
+:class:`~repro.checkpoint.store.RunPreempted` — checkpoint-then-exit.
+
+Two installation profiles:
+
+- :func:`install_worker_handlers` — sweep worker processes.  SIGTERM
+  sets the flag; a worker with no active checkpointed run exits
+  immediately (the historical ``SIG_DFL`` behaviour), so un-checkpointed
+  sweeps keep their crash-recovery semantics.
+- :func:`install_foreground_handlers` — a single ``repro run`` with
+  checkpointing on.  SIGTERM and SIGINT both set the flag, replacing
+  KeyboardInterrupt's mid-event abort with a graceful epoch-boundary
+  exit.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import signal
+from typing import Iterator
+
+#: Process-wide preemption latch. ``active`` marks a checkpointed run in
+#: flight (the handler defers to its epoch loop); ``preempt`` is the
+#: request flag that loop polls.
+_state = {"active": False, "preempt": False}  # noqa: VR004 - signal latch
+
+
+def preemption_requested() -> bool:
+    """Has a preemption signal arrived since the run started?"""
+    return _state["preempt"]
+
+
+def _worker_handler(signum: int, frame: object) -> None:
+    _state["preempt"] = True
+    if not _state["active"]:
+        # Idle worker, or a run without checkpointing: preserve the
+        # plain terminate-on-SIGTERM contract.
+        raise SystemExit(128 + signum)
+
+
+def _foreground_handler(signum: int, frame: object) -> None:
+    _state["preempt"] = True
+    if not _state["active"]:
+        raise KeyboardInterrupt
+
+
+def install_worker_handlers() -> None:
+    """Worker-process profile: SIGTERM requests checkpoint-then-exit."""
+    signal.signal(signal.SIGTERM, _worker_handler)
+
+
+def install_foreground_handlers() -> None:
+    """Foreground single-run profile: SIGTERM/SIGINT request preemption."""
+    signal.signal(signal.SIGTERM, _foreground_handler)
+    signal.signal(signal.SIGINT, _foreground_handler)
+
+
+@contextlib.contextmanager
+def active_run() -> Iterator[None]:
+    """Scope one checkpointed run: clears stale requests on entry so a
+    signal delivered to an idle worker never preempts the *next* run."""
+    _state["active"] = True
+    _state["preempt"] = False
+    try:
+        yield
+    finally:
+        _state["active"] = False
+        _state["preempt"] = False

@@ -132,6 +132,19 @@ def _add_experiment_arguments(parser: argparse.ArgumentParser) -> None:
                         help="worker processes for multi-run invocations "
                              "(default REPRO_JOBS, else serial; "
                              "0 = all CPUs)")
+    parser.add_argument("--checkpoint-every", type=float, default=None,
+                        metavar="SIM_MS", dest="checkpoint_every",
+                        help="snapshot the full simulation state every "
+                             "SIM_MS simulated milliseconds (atomic, "
+                             "digest-verified); a crashed or preempted "
+                             "run auto-resumes from its last checkpoint "
+                             "on re-invocation, and results are "
+                             "byte-identical to an uninterrupted run")
+    parser.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                        dest="checkpoint_dir",
+                        help="directory for managed checkpoint files "
+                             "(default .repro-checkpoints), keyed by "
+                             "config digest")
     parser.add_argument("--trace", default=None, metavar="PATH",
                         help="record a trace (repro.trace) and write it "
                              "as deterministic JSONL to PATH")
@@ -162,6 +175,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seeds", type=int, default=1, metavar="N",
                         help="run N seeds (seed..seed+N-1) and print one "
                              "row per seed")
+    parser.add_argument("--restore", default=None, metavar="PATH",
+                        help="resume a single run from an explicit "
+                             "checkpoint file written by "
+                             "--checkpoint-every (the config must match "
+                             "the checkpoint's recorded digest)")
     return parser
 
 
@@ -203,6 +221,12 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
     config.sanitize = args.sanitize
     config.faults = parse_faults(args.faults)
     config.trace = _trace_config_from_args(args)
+    if args.checkpoint_every is not None:
+        from repro.checkpoint import CheckpointConfig
+        config.checkpoint = CheckpointConfig.every_ms(
+            args.checkpoint_every, directory=args.checkpoint_dir)
+    elif args.checkpoint_dir is not None:
+        raise ValueError("--checkpoint-dir requires --checkpoint-every")
     if args.demote_shares is not None:
         config.fidelity = FidelityConfig(mode=args.fidelity,
                                          demote_shares=args.demote_shares)
@@ -244,6 +268,10 @@ def _cmd_run(argv: List[str]) -> int:
     if args.seeds < 1:
         print("--seeds must be >= 1", file=sys.stderr)
         return 2
+    if args.restore and args.seeds != 1:
+        print("--restore resumes exactly one run (--seeds 1)",
+              file=sys.stderr)
+        return 2
     configs = []
     try:
         for seed in range(args.seed, args.seed + args.seeds):
@@ -264,7 +292,25 @@ def _cmd_run(argv: List[str]) -> int:
               + "; ".join(spec.describe() for spec in configs[0].faults),
               file=sys.stderr)
     if len(configs) == 1:
-        results = [run_experiment(configs[0])]
+        if configs[0].checkpoint is not None or args.restore:
+            from repro.checkpoint import RunPreempted
+            from repro.checkpoint.runtime import install_foreground_handlers
+            if configs[0].checkpoint is not None:
+                # SIGTERM/SIGINT become checkpoint-then-exit requests
+                # honoured at the next epoch boundary.
+                install_foreground_handlers()
+            try:
+                results = [run_experiment(configs[0],
+                                          restore=args.restore)]
+            except RunPreempted as preempted:
+                print(f"run: preempted at "
+                      f"{preempted.sim_now_ns // MILLISECOND} ms "
+                      f"simulated; checkpoint written to "
+                      f"{preempted.path} — re-run the same command to "
+                      f"resume", file=sys.stderr)
+                return 130
+        else:
+            results = [run_experiment(configs[0])]
     else:
         results = sweep(configs, jobs=jobs)
     rows = []
@@ -313,6 +359,17 @@ def _cmd_sweep(argv: List[str]) -> int:
                         help="retries per point for crashes/timeouts/"
                              "transient errors (default REPRO_MAX_RETRIES, "
                              "else 2)")
+    parser.add_argument("--preempt-grace", type=float, default=None,
+                        metavar="SECONDS", dest="preempt_grace",
+                        help="grace window between the watchdog's SIGTERM "
+                             "(checkpoint-then-exit) and the SIGKILL "
+                             "fallback (default 5)")
+    parser.add_argument("--stall-timeout", type=float, default=None,
+                        metavar="SECONDS", dest="stall_timeout",
+                        help="flag a run as stalled when its simulated "
+                             "clock (read from checkpoint progress "
+                             "sidecars) stops advancing for SECONDS of "
+                             "wall time; requires --checkpoint-every")
     _add_experiment_arguments(parser)
     args = parser.parse_args(argv)
     systems = [name.strip() for name in args.systems.split(",")
@@ -338,8 +395,14 @@ def _cmd_sweep(argv: List[str]) -> int:
                 args.seed = seed
                 configs.append(config_from_args(args))
         jobs = resolve_jobs(args.jobs)
+        overrides = {}
+        if args.preempt_grace is not None:
+            overrides["preempt_grace_s"] = args.preempt_grace
+        if args.stall_timeout is not None:
+            overrides["stall_timeout_s"] = args.stall_timeout
         policy = SupervisorPolicy.from_env(run_timeout_s=args.run_timeout,
-                                           max_retries=args.max_retries)
+                                           max_retries=args.max_retries,
+                                           **overrides)
     except ValueError as exc:
         # Malformed --fault directive, REPRO_JOBS/--jobs, or a
         # supervision knob: a usage error, one line, exit status 2.
@@ -357,9 +420,17 @@ def _cmd_sweep(argv: List[str]) -> int:
                + f" in {report.wall_s:.1f}s")
     print(summary, file=sys.stderr)
     for failure in manifest["failures"]:
+        reached = ""
+        if failure.get("last_sim_ns") is not None:
+            reached = (f" (reached {failure['last_sim_ns']} ns, "
+                       f"{failure['last_events']} events)")
         print(f"sweep: {failure['status']}: {failure['system']} "
               f"seed={failure['seed']} after {failure['attempts']} "
-              f"attempt(s): {failure['error']}", file=sys.stderr)
+              f"attempt(s): {failure['error']}{reached}", file=sys.stderr)
+    if manifest["stalls"]:
+        print(f"sweep: stalled point(s) {manifest['stalls']}: simulated "
+              f"clock stopped advancing past --stall-timeout",
+              file=sys.stderr)
     if report.interrupted and report.journal_path:
         print(f"sweep: interrupted; resume with "
               f"--resume {report.journal_path}", file=sys.stderr)

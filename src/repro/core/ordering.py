@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.analysis import sanitize as _sanitize
+from repro.checkpoint.protocol import Snapshot
 from repro.core.flowinfo import MarkingDiscipline
 from repro.trace import hooks as _trace_hooks
 
@@ -61,8 +62,12 @@ class _FlowOrderState:
             self.timer.stop()
 
 
-class OrderingComponent:
+class OrderingComponent(Snapshot):
     """Per-host receive-side re-sequencing shim."""
+
+    SNAPSHOT_ATTRS = ("engine", "deliver", "_raw_deliver", "_released_uids",
+                      "timeout_ns", "boost_factor", "discipline", "_flows",
+                      "packets_buffered", "timeouts_fired", "label")
 
     def __init__(self, engine: Engine, deliver: Callable[[Packet], None],
                  timeout_ns: int = DEFAULT_TIMEOUT_NS,
@@ -71,13 +76,16 @@ class OrderingComponent:
                  ) -> None:
         self.engine = engine
         self.deliver = deliver
+        self._raw_deliver = deliver
+        #: Release-exactly-once bookkeeping (sanitize mode only; empty
+        #: otherwise).
+        self._released_uids: Set[int] = set()
         if _SANITIZE:
             # Release-exactly-once: the shim must never hand the same
             # packet object up twice (late *re-transmissions* are distinct
             # packets and are legitimately passed through).  Bound at
             # construction so the off path pays nothing per packet.
-            self._released_uids: Set[int] = set()
-            self.deliver = self._checked_deliver(deliver)
+            self.deliver = self._checked_deliver
         self.timeout_ns = timeout_ns
         self.boost_factor = boost_factor
         self.discipline = discipline
@@ -87,16 +95,12 @@ class OrderingComponent:
         #: Owning host name (stamped by the host); trace identity.
         self.label = ""
 
-    def _checked_deliver(self, deliver: Callable[[Packet], None]
-                         ) -> Callable[[Packet], None]:
-        def checked(packet: Packet) -> None:
-            _sanitize.check(packet.uid not in self._released_uids,
-                            "ordering released packet uid=%d (flow %d) "
-                            "twice", packet.uid, packet.flow_id)
-            self._released_uids.add(packet.uid)
-            deliver(packet)
-
-        return checked
+    def _checked_deliver(self, packet: Packet) -> None:
+        _sanitize.check(packet.uid not in self._released_uids,
+                        "ordering released packet uid=%d (flow %d) "
+                        "twice", packet.uid, packet.flow_id)
+        self._released_uids.add(packet.uid)
+        self._raw_deliver(packet)
 
     # -- tag arithmetic -----------------------------------------------------------
 

@@ -43,6 +43,13 @@ class RankQueue(Generic[T]):
         # would couple independent queues' state across runs.
         self._seq = 0
 
+    #: Lazy-deleted entries are compacted away once they outnumber live
+    #: ones past this floor — unbounded, the max heap would pin every
+    #: packet that ever transited the queue (a switch queue almost never
+    #: pops max, so dead twins only die by reaching the top), growing
+    #: resident memory and checkpoint payloads linearly with history.
+    _COMPACT_FLOOR = 64
+
     def push(self, rank: int, item: T) -> None:
         seq = self._seq
         self._seq += 1
@@ -53,6 +60,32 @@ class RankQueue(Generic[T]):
         self._len += 1
         if _SANITIZE:
             self._sanitize_check()
+
+    def _compact(self) -> None:
+        """Drop dead entries once they dominate either heap.
+
+        Pop order is a pure function of the ``(rank, seq)`` keys, so
+        rebuilding the heaps from the live entries is invisible to
+        callers (and to run digests) — it only sheds the references.
+        Amortized O(1): each compaction is linear in entries that were
+        pushed exactly once since the last one.
+        """
+        if self._len == 0:
+            if self._min_heap or self._max_heap:
+                self._min_heap.clear()
+                self._max_heap.clear()
+                self._dead.clear()
+            return
+        largest = max(len(self._min_heap), len(self._max_heap))
+        if largest <= self._COMPACT_FLOOR or largest <= 2 * self._len:
+            return
+        live = [entry for entry in self._min_heap
+                if entry[1] not in self._dead]
+        self._min_heap = live[:]
+        heapq.heapify(self._min_heap)
+        self._max_heap = [(-rank, -seq, item) for rank, seq, item in live]
+        heapq.heapify(self._max_heap)
+        self._dead.clear()
 
     def _prune_min(self) -> None:
         heap = self._min_heap
@@ -87,6 +120,7 @@ class RankQueue(Generic[T]):
         rank, seq, item = heapq.heappop(self._min_heap)
         self._dead.add(seq)
         self._len -= 1
+        self._compact()
         if _SANITIZE:
             self._sanitize_check()
         return rank, item
@@ -98,6 +132,7 @@ class RankQueue(Generic[T]):
         neg_rank, neg_seq, item = heapq.heappop(self._max_heap)
         self._dead.add(-neg_seq)
         self._len -= 1
+        self._compact()
         if _SANITIZE:
             self._sanitize_check()
         return -neg_rank, item

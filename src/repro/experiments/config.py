@@ -21,6 +21,7 @@ import warnings
 from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence, Tuple, Union
 
+from repro.checkpoint.config import CheckpointConfig
 from repro.core.flowinfo import MarkingDiscipline
 from repro.core.ordering import DEFAULT_TIMEOUT_NS
 from repro.faults.spec import FaultSpec
@@ -234,6 +235,14 @@ class ExperimentConfig:
     #: The default (1 class, PFC off) leaves the datapath byte-identical
     #: to the laneless one; any configured value joins the run digest.
     pfc: PfcConfig = field(default_factory=PfcConfig)
+    #: In-run checkpointing (:mod:`repro.checkpoint`): snapshot the live
+    #: simulation at epoch boundaries so crashed/preempted runs resume
+    #: instead of restarting.  ``repr=False`` keeps it OUT of
+    #: ``config_digest`` — checkpointing is an execution concern and
+    #: never changes results, so a checkpointed run keys identically to
+    #: the same run without.
+    checkpoint: Optional["CheckpointConfig"] = field(default=None,
+                                                    repr=False)
 
     # -- profiles --------------------------------------------------------------------
 

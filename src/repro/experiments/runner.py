@@ -7,12 +7,25 @@
 from __future__ import annotations
 
 import itertools
+from contextlib import ExitStack
 from dataclasses import dataclass, field, replace
+from functools import partial
 from typing import Dict, Optional
 
 from repro.analysis import sanitize as _sanitize
+from repro.checkpoint import (
+    CheckpointError,
+    RunPreempted,
+    load_latest,
+    write_checkpoint,
+    write_progress,
+)
+from repro.checkpoint import discard as _discard_checkpoint
+from repro.checkpoint.protocol import Snapshot
+from repro.checkpoint.runtime import active_run, preemption_requested
 from repro.core.flowinfo import MarkingDiscipline
 from repro.experiments.config import ExperimentConfig
+from repro.net import packet as _packet_mod
 from repro.forwarding.dibs import DibsPolicy
 from repro.forwarding.drill import DrillPolicy
 from repro.forwarding.ecmp import EcmpPolicy
@@ -135,6 +148,104 @@ def resolve_transport_config(config: ExperimentConfig) -> TransportConfig:
     return transport
 
 
+class FlowKernel(Snapshot):
+    """Opens flows: the glue between workload generators and host stacks.
+
+    A picklable replacement for the historical ``open_flow`` closure —
+    generators hold a bound :meth:`open_flow`, and completion callbacks
+    are partials of bound methods, so the whole callback web rides in a
+    checkpoint.  Flow ids are per-kernel, keeping same-process runs
+    bit-identical for a given seed.
+    """
+
+    SNAPSHOT_ATTRS = ("engine", "metrics", "network", "fidelity",
+                      "_flow_ids")
+
+    def __init__(self, engine: Engine, metrics: MetricsCollector,
+                 network: Network, fidelity) -> None:
+        self.engine = engine
+        self.metrics = metrics
+        self.network = network
+        self.fidelity = fidelity
+        self._flow_ids = itertools.count(1)
+
+    def open_flow(self, src: int, dst: int, size: int,
+                  is_incast: bool = False, query_id: Optional[int] = None,
+                  coflow_id: Optional[int] = None, on_done=None) -> None:
+        flow_id = next(self._flow_ids)
+        self.metrics.flow_started(flow_id, src, dst, size, self.engine.now,
+                                  is_incast=is_incast, query_id=query_id,
+                                  coflow_id=coflow_id)
+        src_host = self.network.hosts[src]
+        dst_host = self.network.hosts[dst]
+        dst_host.open_receiver(
+            flow_id, src, size,
+            on_complete=partial(self._rx_done, flow_id, dst, on_done))
+        sender = src_host.open_sender(
+            flow_id, dst, size,
+            on_complete=partial(self._tx_done, flow_id, src))
+        if self.fidelity is not None:
+            self.fidelity.adopt(sender)
+        sender.start()
+
+    def _rx_done(self, flow_id: int, dst: int, on_done) -> None:
+        dst_host = self.network.hosts[dst]
+        if dst_host.ordering is not None:
+            dst_host.ordering.flow_done(flow_id)
+        # Generator barrier callback (coflow stages); fires after
+        # metrics.flow_completed has recorded the flow.
+        if on_done is not None:
+            on_done(flow_id)
+
+    def _tx_done(self, flow_id: int, src: int) -> None:
+        self.network.hosts[src].sender_done(flow_id)
+
+
+class LiveRun(Snapshot):
+    """The complete live simulation: the object graph one checkpoint
+    pickles.
+
+    Everything reachable from here — engine calendar, network, host
+    stacks, transports, generators, RNG streams, telemetry, tracer — is
+    captured in a single ``pickle.dumps``, so shared references (e.g.
+    one RNG stream held by the registry and a policy) stay aliased on
+    restore.  Wall-clock profiling lives *outside*, per process.
+    """
+
+    SNAPSHOT_ATTRS = ("config", "engine", "rng", "metrics", "network",
+                      "pfc", "fidelity", "kernel", "generators",
+                      "telemetry", "injector", "sampler", "tracer",
+                      "uid_watermark", "restored_from_ns",
+                      "checkpoints_written")
+
+    def __init__(self, config: ExperimentConfig, engine: Engine,
+                 rng: RngRegistry, metrics: MetricsCollector,
+                 network: Network, pfc, fidelity, kernel: FlowKernel,
+                 generators, telemetry, injector, sampler,
+                 tracer) -> None:
+        self.config = config
+        self.engine = engine
+        self.rng = rng
+        self.metrics = metrics
+        self.network = network
+        self.pfc = pfc
+        self.fidelity = fidelity
+        self.kernel = kernel
+        self.generators = generators
+        self.telemetry = telemetry
+        self.injector = injector
+        self.sampler = sampler
+        self.tracer = tracer
+        #: Module-global packet-uid watermark, captured at snapshot time
+        #: so the restoring process can advance past every live uid.
+        self.uid_watermark = 0
+        #: Simulated time this world was last restored at, or None for
+        #: a from-scratch build (checkpoint lineage, non-digest).
+        self.restored_from_ns: Optional[int] = None
+        #: Checkpoints written by this run so far (lineage, non-digest).
+        self.checkpoints_written = 0
+
+
 @dataclass
 class EngineStats:
     """Picklable stand-in for a drained :class:`Engine` in results that
@@ -177,6 +288,13 @@ class RunResult:
     #: PFC was enabled; None otherwise.  Deterministic integers — part
     #: of the run digest together with the class-keyed drop counters.
     pfc: Optional[Dict[str, object]] = None
+    #: Checkpoint lineage (``restored_from_ns``, ``checkpoints_written``,
+    #: ``path``) when checkpointing was active; None otherwise.
+    #: Execution metadata — never part of the run digest.
+    checkpoint: Optional[Dict[str, object]] = None
+    #: One-time telemetry notices raised during the run (e.g. the
+    #: fidelity demotion-cascade counter).  Non-digest diagnostics.
+    notices: Dict[str, object] = field(default_factory=dict)
 
     @property
     def duration_ns(self) -> int:
@@ -201,7 +319,8 @@ class RunResult:
             queries_issued=self.queries_issued,
             coflows_launched=self.coflows_launched, telemetry=telemetry,
             trace=self.trace, profile=dict(self.profile),
-            fidelity=self.fidelity, pfc=self.pfc)
+            fidelity=self.fidelity, pfc=self.pfc,
+            checkpoint=self.checkpoint, notices=dict(self.notices))
 
     def report(self):
         """The unified :class:`~repro.experiments.report.RunReport`."""
@@ -214,158 +333,248 @@ class RunResult:
         return self.report().row()
 
 
-def run_experiment(config: ExperimentConfig) -> RunResult:
+def run_experiment(config: ExperimentConfig,
+                   restore: Optional[str] = None) -> RunResult:
     """Build, run, and measure one simulation.
 
     With ``config.sanitize`` the whole run — including network
     construction, so construction-bound checks attach — executes under
     the runtime invariant sanitizer.
+
+    ``restore`` resumes from an explicit checkpoint file.  With
+    ``config.checkpoint`` set, the run also *auto-resumes* from its
+    managed checkpoint (keyed by config digest) if one exists — so a
+    crashed or preempted run simply reruns — and deletes it on
+    successful completion.  Checkpointing never changes results: a
+    restored run's digest is byte-identical to the uninterrupted run.
     """
     if config.sanitize and not _sanitize.enabled():
         with _sanitize.scoped(True):
-            return _run_experiment(config)
-    return _run_experiment(config)
+            return _run_experiment(config, restore)
+    return _run_experiment(config, restore)
 
 
-def _run_experiment(config: ExperimentConfig) -> RunResult:
+def _run_experiment(config: ExperimentConfig,
+                    restore: Optional[str] = None) -> RunResult:
+    from repro.experiments.digest import config_digest
+
     profiler = PhaseProfiler()
+    digest = config_digest(config)
+    managed_path = None
+    if config.checkpoint is not None:
+        managed_path = config.checkpoint.resolve_path(digest)
+
+    # active_run() spans the WHOLE task, not just the epoch loop: a
+    # SIGTERM landing during build or finalize must latch (and surface
+    # as RunPreempted at the next boundary, or simply let the task
+    # finish) rather than raise SystemExit inside a pool worker —
+    # concurrent.futures ships BaseException back through the future,
+    # which would read as a crash instead of a preemption.
+    with active_run():
+        world = None
+        with profiler.phase("build"):
+            if restore is not None:
+                found = load_latest(restore, expect_config=digest)
+                if found is None:
+                    raise CheckpointError(f"no checkpoint at {restore!r}")
+                _header, world, _used = found
+            elif managed_path is not None:
+                found = load_latest(managed_path, expect_config=digest)
+                if found is not None:
+                    _header, world, _used = found
+            if world is not None:
+                _packet_mod.advance_uid_watermark(world.uid_watermark)
+                world.restored_from_ns = world.engine.now
+            else:
+                world = _build_world(config)
+
+        _run_epochs(world, profiler, managed_path, digest)
+
+        result = _finalize(world, profiler, managed_path)
+    if managed_path is not None:
+        # Managed checkpoints are consumed by successful completion;
+        # explicit --restore files are the caller's to keep.
+        _discard_checkpoint(managed_path)
+    return result
+
+
+def _build_world(config: ExperimentConfig) -> LiveRun:
+    """Construct the full live simulation for ``config`` (build phase)."""
     tracer = Tracer(config.trace) if config.trace is not None else None
-    with profiler.phase("build"):
-        engine = Engine()
-        rng = RngRegistry(config.seed)
-        metrics = MetricsCollector()
-        system = config.system
+    engine = Engine()
+    rng = RngRegistry(config.seed)
+    metrics = MetricsCollector()
+    system = config.system
 
-        transport = resolve_transport_config(config)
-        network_params = config.network
-        if config.transport_name in ("dctcp", "dcqcn") \
-                and network_params.ecn_threshold_bytes is None:
-            network_params = replace(
-                network_params,
-                ecn_threshold_bytes=derive_ecn_threshold(network_params,
-                                                         transport.mss))
+    transport = resolve_transport_config(config)
+    network_params = config.network
+    if config.transport_name in ("dctcp", "dcqcn") \
+            and network_params.ecn_threshold_bytes is None:
+        network_params = replace(
+            network_params,
+            ecn_threshold_bytes=derive_ecn_threshold(network_params,
+                                                     transport.mss))
 
-        is_vertigo = system.name == "vertigo"
-        ordering_timeout = system.ordering_timeout_ns \
-            if system.ordering_timeout_ns is not None \
-            else derive_ordering_timeout(network_params)
-        stack = HostStackConfig(
-            transport_cls=TRANSPORTS[config.transport_name],
-            transport=transport,
-            vertigo_marking=is_vertigo,
-            vertigo_ordering=is_vertigo and system.ordering,
-            marking_discipline=system.marking_discipline,
-            boost_factor=system.boost_factor,
-            boosting=system.boosting,
-            ordering_timeout_ns=ordering_timeout,
-        )
+    is_vertigo = system.name == "vertigo"
+    ordering_timeout = system.ordering_timeout_ns \
+        if system.ordering_timeout_ns is not None \
+        else derive_ordering_timeout(network_params)
+    stack = HostStackConfig(
+        transport_cls=TRANSPORTS[config.transport_name],
+        transport=transport,
+        vertigo_marking=is_vertigo,
+        vertigo_ordering=is_vertigo and system.ordering,
+        marking_discipline=system.marking_discipline,
+        boost_factor=system.boost_factor,
+        boosting=system.boosting,
+        ordering_timeout_ns=ordering_timeout,
+    )
 
-        use_ranked = is_vertigo and system.vertigo_switch.scheduling
-        network = build_network(engine, config.topology, network_params,
-                                metrics, stack, _policy_factory(config), rng,
-                                use_ranked_queues=use_ranked, pfc=config.pfc)
+    use_ranked = is_vertigo and system.vertigo_switch.scheduling
+    network = build_network(engine, config.topology, network_params,
+                            metrics, stack, _policy_factory(config), rng,
+                            use_ranked_queues=use_ranked, pfc=config.pfc)
 
-        pfc = None
-        if config.pfc.enabled:
-            pfc = PfcController(engine, config.pfc, network)
-            pfc.install()
-            network.pfc = pfc
-            for host in network.hosts:
-                host.enable_nic_backpressure()
+    pfc = None
+    if config.pfc.enabled:
+        pfc = PfcController(engine, config.pfc, network)
+        pfc.install()
+        network.pfc = pfc
+        for host in network.hosts:
+            host.enable_nic_backpressure()
 
-        fidelity = None
-        if config.fidelity.active:
-            fidelity = FidelityController(engine, network, config.fidelity)
-            fidelity.install()
+    fidelity = None
+    if config.fidelity.active:
+        fidelity = FidelityController(engine, network, config.fidelity)
+        fidelity.install()
 
-        flow_ids = itertools.count(1)
+    kernel = FlowKernel(engine, metrics, network, fidelity)
 
-        def open_flow(src: int, dst: int, size: int, is_incast: bool = False,
-                      query_id: Optional[int] = None,
-                      coflow_id: Optional[int] = None,
-                      on_done=None) -> None:
-            flow_id = next(flow_ids)
-            metrics.flow_started(flow_id, src, dst, size, engine.now,
-                                 is_incast=is_incast, query_id=query_id,
-                                 coflow_id=coflow_id)
-            src_host = network.hosts[src]
-            dst_host = network.hosts[dst]
+    workload = config.workload
+    if workload.warmup_ns or workload.cooldown_ns:
+        window_end = config.sim_time_ns - workload.cooldown_ns
+        if workload.warmup_ns >= window_end:
+            raise ValueError(
+                f"warmup ({workload.warmup_ns} ns) plus cooldown "
+                f"({workload.cooldown_ns} ns) leave no measurement "
+                f"window in a {config.sim_time_ns} ns run")
+        metrics.set_window(workload.warmup_ns, window_end)
+    generators = build_workload(workload, WorkloadContext(
+        engine=engine, open_flow=kernel.open_flow, metrics=metrics,
+        n_hosts=config.topology.n_hosts,
+        host_rate_bps=network_params.host_rate_bps,
+        rack_of=config.topology.host_tor, rng=rng,
+        until_ns=config.sim_time_ns))
 
-            def on_rx_done() -> None:
-                if dst_host.ordering is not None:
-                    dst_host.ordering.flow_done(flow_id)
-                # Generator barrier callback (coflow stages); fires after
-                # metrics.flow_completed has recorded the flow.
-                if on_done is not None:
-                    on_done(flow_id)
+    telemetry = None
+    if config.telemetry_interval_ns:
+        from repro.telemetry import TelemetryMonitor
 
-            dst_host.open_receiver(flow_id, src, size,
-                                   on_complete=on_rx_done)
-            sender = src_host.open_sender(
-                flow_id, dst, size,
-                on_complete=lambda: src_host.sender_done(flow_id))
-            if fidelity is not None:
-                fidelity.adopt(sender)
-            sender.start()
+        telemetry = TelemetryMonitor(
+            engine, network, interval_ns=config.telemetry_interval_ns,
+            pfc=pfc)
+        telemetry.start()
 
-        workload = config.workload
-        if workload.warmup_ns or workload.cooldown_ns:
-            window_end = config.sim_time_ns - workload.cooldown_ns
-            if workload.warmup_ns >= window_end:
-                raise ValueError(
-                    f"warmup ({workload.warmup_ns} ns) plus cooldown "
-                    f"({workload.cooldown_ns} ns) leave no measurement "
-                    f"window in a {config.sim_time_ns} ns run")
-            metrics.set_window(workload.warmup_ns, window_end)
-        generators = build_workload(workload, WorkloadContext(
-            engine=engine, open_flow=open_flow, metrics=metrics,
-            n_hosts=config.topology.n_hosts,
-            host_rate_bps=network_params.host_rate_bps,
-            rack_of=config.topology.host_tor, rng=rng,
-            until_ns=config.sim_time_ns))
+    injector = None
+    if config.faults:
+        from repro.faults import FaultInjector
 
-        telemetry = None
-        if config.telemetry_interval_ns:
-            from repro.telemetry import TelemetryMonitor
+        injector = FaultInjector(
+            engine, network, rng, config.faults,
+            on_event=telemetry.record_fault if telemetry else None)
+        injector.schedule()
 
-            telemetry = TelemetryMonitor(
-                engine, network, interval_ns=config.telemetry_interval_ns,
-                pfc=pfc)
-            telemetry.start()
+    sampler = None
+    if tracer is not None and config.trace.sample_period_ns:
+        sampler = TraceSampler(engine, network, tracer,
+                               config.trace.sample_period_ns)
+        sampler.start()
 
-        if config.faults:
-            from repro.faults import FaultInjector
+    return LiveRun(config=config, engine=engine, rng=rng, metrics=metrics,
+                   network=network, pfc=pfc, fidelity=fidelity,
+                   kernel=kernel, generators=generators,
+                   telemetry=telemetry, injector=injector, sampler=sampler,
+                   tracer=tracer)
 
-            injector = FaultInjector(
-                engine, network, rng, config.faults,
-                on_event=telemetry.record_fault if telemetry else None)
-            injector.schedule()
 
-        sampler = None
-        if tracer is not None and config.trace.sample_period_ns:
-            sampler = TraceSampler(engine, network, tracer,
-                                   config.trace.sample_period_ns)
-            sampler.start()
+def _write_world_checkpoint(world: LiveRun, path: str,
+                            config_digest: str) -> None:
+    """Snapshot ``world`` atomically and refresh the progress sidecar."""
+    world.uid_watermark = _packet_mod.uid_watermark()
+    write_checkpoint(path, world, config_digest=config_digest,
+                     sim_now_ns=world.engine.now,
+                     events_executed=world.engine.events_executed)
+    world.checkpoints_written += 1
+    write_progress(path, sim_now_ns=world.engine.now,
+                   events_executed=world.engine.events_executed,
+                   sim_time_ns=world.config.sim_time_ns)
 
-    if tracer is not None:
-        with _trace_hooks.activated(tracer), profiler.phase("run"):
-            engine.run(until=config.sim_time_ns)
-    else:
-        with profiler.phase("run"):
-            engine.run(until=config.sim_time_ns)
 
+def _run_epochs(world: LiveRun, profiler: PhaseProfiler,
+                managed_path: Optional[str], config_digest: str) -> None:
+    """Run the simulation to completion, checkpointing at epoch
+    boundaries.
+
+    Boundaries fall on multiples of ``every_ns`` of *simulated* time, so
+    a restored run and the uninterrupted run execute identical event
+    sequences.  Preemption (SIGTERM/SIGINT latched by
+    :mod:`repro.checkpoint.runtime`) is honoured only at boundaries —
+    never mid-event — by writing a final checkpoint and raising
+    :class:`RunPreempted`.
+    """
+    engine = world.engine
+    end = world.config.sim_time_ns
+    checkpoint = world.config.checkpoint
+    tracer = world.tracer
+
+    if checkpoint is None or managed_path is None:
+        # Legacy single-call path: byte-identical scheduling AND an
+        # identical trace stream (one engine.span per run).
+        if tracer is not None:
+            with _trace_hooks.activated(tracer), profiler.phase("run"):
+                engine.run(until=end)
+        else:
+            with profiler.phase("run"):
+                engine.run(until=end)
+        return
+
+    every = checkpoint.every_ns
+    write_progress(managed_path, sim_now_ns=engine.now,
+                   events_executed=engine.events_executed, sim_time_ns=end)
+    with ExitStack() as stack:
+        if tracer is not None:
+            stack.enter_context(_trace_hooks.activated(tracer))
+        stack.enter_context(profiler.phase("run"))
+        while engine.now < end:
+            boundary = min(end, (engine.now // every + 1) * every)
+            engine.run(until=boundary)
+            preempt = preemption_requested() and engine.now < end
+            if engine.now < end or preempt:
+                _write_world_checkpoint(world, managed_path, config_digest)
+            else:
+                write_progress(managed_path, sim_now_ns=engine.now,
+                               events_executed=engine.events_executed,
+                               sim_time_ns=end)
+            if preempt:
+                raise RunPreempted(managed_path, engine.now)
+
+
+def _finalize(world: LiveRun, profiler: PhaseProfiler,
+              managed_path: Optional[str]) -> RunResult:
+    config = world.config
+    engine = world.engine
     with profiler.phase("finalize"):
-        if telemetry is not None:
+        if world.telemetry is not None:
             # Detach the monitor from the calendar so its self-rescheduling
             # tick cannot outlive the measured window.
-            telemetry.stop()
-        if sampler is not None:
-            sampler.stop()
+            world.telemetry.stop()
+        if world.sampler is not None:
+            world.sampler.stop()
 
         trace_data = None
-        if tracer is not None:
+        if world.tracer is not None:
             topology = config.topology
-            trace_data = tracer.detach(meta={
+            trace_data = world.tracer.detach(meta={
                 "seed": config.seed,
                 "system": config.system.name,
                 "transport": config.transport_name,
@@ -374,15 +583,29 @@ def _run_experiment(config: ExperimentConfig) -> RunResult:
                             f"({topology.n_hosts} hosts)",
             })
 
+    fidelity = world.fidelity
+    pfc = world.pfc
+    generators = world.generators
+    notices: Dict[str, object] = {}
+    if fidelity is not None and fidelity.cascade_links:
+        notices["fidelity_cascade_links"] = fidelity.cascade_links
+    lineage = None
+    if world.checkpoints_written or world.restored_from_ns is not None:
+        lineage = {"restored_from_ns": world.restored_from_ns,
+                   "checkpoints_written": world.checkpoints_written,
+                   "path": managed_path}
     return RunResult(
-        config=config, metrics=metrics, network=network, engine=engine,
+        config=config, metrics=world.metrics, network=world.network,
+        engine=engine,
         bg_flows_generated=sum(getattr(g, "flows_generated", 0)
                                for g in generators),
         queries_issued=sum(getattr(g, "queries_issued", 0)
                            for g in generators),
         coflows_launched=sum(getattr(g, "coflows_launched", 0)
                              for g in generators),
-        telemetry=telemetry, trace=trace_data, profile=profiler.report(),
+        telemetry=world.telemetry, trace=trace_data,
+        profile=profiler.report(),
         fidelity=(fidelity.summary(engine.now)
                   if fidelity is not None else None),
-        pfc=pfc.summary(engine.now) if pfc is not None else None)
+        pfc=pfc.summary(engine.now) if pfc is not None else None,
+        checkpoint=lineage, notices=notices)

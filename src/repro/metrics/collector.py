@@ -154,6 +154,11 @@ class MetricsCollector:
             return False
         return self.window_end is None or start_ns < self.window_end
 
+    def count_wire_drop(self, packet, reason: str) -> None:
+        """Account one on-the-wire loss (``Link.on_drop`` hook)."""
+        self.counters.drops[reason] += 1
+        self.counters.class_drops[(packet.pclass, reason)] += 1
+
     # -- flow lifecycle ----------------------------------------------------
 
     def flow_started(self, flow_id: int, src: int, dst: int, size: int,

@@ -220,9 +220,9 @@ def build_network(engine: Engine, topology: Topology, params: NetworkParams,
             "mutually exclusive: PFC accounts buffers at the ingress, "
             "DT at a shared egress pool")
 
-    def count_wire_drop(packet, reason: str) -> None:
-        metrics.counters.drops[reason] += 1
-        metrics.counters.class_drops[(packet.pclass, reason)] += 1
+    # Bound method (picklable): every Link retains it as on_drop, and
+    # links ride in checkpoints.
+    count_wire_drop = metrics.count_wire_drop
 
     def make_link(rate_bps: int, delay_ns: int, dst, dst_port: int,
                   name: str) -> Link:

@@ -39,10 +39,12 @@ Boundary-conversion invariants (what keeps digests deterministic):
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from functools import partial
 from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
+from repro.checkpoint.protocol import Snapshot
 from repro.net.packet import ACK_WIRE_BYTES
 from repro.trace import hooks as _trace_hooks
 
@@ -120,12 +122,16 @@ class _LinkState:
     """Controller-side state for one directed link."""
 
     __slots__ = ("port", "analytic", "pinned", "shares", "active",
-                 "analytic_since", "analytic_ns", "last_epoch_bytes")
+                 "analytic_since", "analytic_ns", "last_epoch_bytes",
+                 "cascade_noted")
 
     def __init__(self, port: "Port") -> None:
         self.port = port
         self.analytic = True
         self.pinned = False
+        #: Has this link already been counted against the demotion-
+        #: cascade envelope?  (One count and one warning per link.)
+        self.cascade_noted = False
         #: Registered (adopted, not yet stopped) flows routed over the
         #: link — the fan-in signal the shares demotion trigger reads.
         self.shares = 0
@@ -151,8 +157,22 @@ class _FlowPath:
         self.round_path: Optional[Tuple["Link", ...]] = None
 
 
-class FidelityController:
+#: A link whose share count reaches this multiple of ``demote_shares``
+#: is in demotion-cascade territory: fan-in far beyond the documented
+#: envelope (see ROADMAP item 1 / benchmarks/test_paper_scale.py), where
+#: hybrid mode silently degrades toward all-packet fidelity.
+CASCADE_ENVELOPE_FACTOR = 5
+
+
+class FidelityController(Snapshot):
     """Owns per-link modes, flow adoption, and the promotion epoch."""
+
+    SNAPSHOT_ATTRS = ("engine", "network", "config", "_hybrid", "_state",
+                      "_flows", "_generation", "_epoch_handle",
+                      "demote_queue_bytes", "promote_epoch_ns",
+                      "standing_queue_bytes", "demotions", "promotions",
+                      "pinned", "analytic_rounds", "analytic_flows",
+                      "cascade_links", "_cascade_warned")
 
     def __init__(self, engine: "Engine", network: "Network",
                  config: FidelityConfig) -> None:
@@ -179,6 +199,13 @@ class FidelityController:
         self.pinned = 0
         self.analytic_rounds = 0
         self.analytic_flows = 0
+        #: Links seen beyond the demotion-cascade envelope
+        #: (``CASCADE_ENVELOPE_FACTOR x demote_shares`` concurrent
+        #: shares).  Deliberately *not* part of :meth:`summary` — the
+        #: summary is a digest input and this telemetry counter must not
+        #: change run identity.
+        self.cascade_links = 0
+        self._cascade_warned = False
 
     # -- installation ---------------------------------------------------------
 
@@ -219,6 +246,7 @@ class FidelityController:
             state.shares += 1
             if state.shares >= self.config.demote_shares:
                 self._demote(link, "shares")
+                self._check_cascade(link, state)
         sender.fidelity = self
 
     def flow_stopped(self, sender) -> None:
@@ -265,6 +293,7 @@ class FidelityController:
                 state.shares += 1
                 if state.shares >= self.config.demote_shares:
                     self._demote(link, "shares")
+                    self._check_cascade(link, state)
             flow.path = path
         flow.generation = self._generation
         return True
@@ -425,6 +454,33 @@ class FidelityController:
     def on_topology_change(self) -> None:
         """Invalidate every adopted flow's cached path."""
         self._generation += 1
+
+    def _check_cascade(self, link: "Link", state: _LinkState) -> None:
+        """Count (once per link) fan-in beyond the cascade envelope.
+
+        Incast fan-in past ``CASCADE_ENVELOPE_FACTOR x demote_shares``
+        is the documented demotion-cascade regime: hybrid runs quietly
+        collapse toward packet fidelity and lose their speedup.  Emit
+        one process-level warning per run so paper-scale sweeps can see
+        it, and keep a counter (``cascade_links``) outside every digest
+        input for reports and manifests.
+        """
+        envelope = CASCADE_ENVELOPE_FACTOR * self.config.demote_shares
+        if state.cascade_noted or state.shares < envelope:
+            return
+        state.cascade_noted = True
+        self.cascade_links += 1
+        if not self._cascade_warned:
+            self._cascade_warned = True
+            warnings.warn(
+                f"fidelity demotion cascade: link {link.label} reached "
+                f"{state.shares} concurrent shares, beyond the "
+                f"~{CASCADE_ENVELOPE_FACTOR}x demote_shares envelope "
+                f"({envelope}); hybrid mode is degrading to packet "
+                f"fidelity on the incast neighbourhood — raise "
+                f"demote_shares or accept packet fidelity for this point "
+                f"(ROADMAP item 1)",
+                RuntimeWarning, stacklevel=2)
 
     # -- mode transitions -----------------------------------------------------
 

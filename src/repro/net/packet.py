@@ -25,7 +25,28 @@ DEFAULT_MSS = 1460
 
 # Process-global uid source: uids are used only for identity (never for
 # ordering or arithmetic), so sharing the counter across runs is harmless.
+# Deliberately NOT checkpointed: a restore instead advances the
+# watermark (advance_uid_watermark) past every uid alive in the
+# snapshot, so identity stays unique without the counter value ever
+# reaching a digest.
 _packet_uid = itertools.count()  # noqa: VR004
+
+
+def uid_watermark() -> int:
+    """Next uid to be issued (burns one uid; identity-only, harmless)."""
+    return next(_packet_uid)
+
+
+def advance_uid_watermark(watermark: int) -> None:
+    """Ensure future uids are >= ``watermark`` (checkpoint restore).
+
+    Restored packets carry uids from the checkpointing process; new
+    packets in this process must not collide with them or the ordering
+    shim's release-exactly-once sets would see false duplicates.
+    """
+    global _packet_uid
+    if watermark > next(_packet_uid):
+        _packet_uid = itertools.count(watermark)  # noqa: VR004
 
 
 class PacketKind(enum.Enum):

@@ -42,6 +42,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
+from repro.checkpoint.protocol import Snapshot
 from repro.trace import hooks as _trace_hooks
 
 _TRACE = _trace_hooks.register(__name__)
@@ -137,7 +138,7 @@ def resolve_thresholds(config: PfcConfig, buffer_bytes: int,
     return xoff, xon, headroom
 
 
-class PfcGate:
+class PfcGate(Snapshot):
     """Ingress-buffer accounting for one (switch, in-port, class) triple.
 
     The gate charges packets while resident at the downstream switch and
@@ -150,6 +151,15 @@ class PfcGate:
                  "delay_ns", "xoff", "xon", "capacity", "occupancy",
                  "paused", "paused_since", "pause_ns", "pause_events",
                  "headroom_drops")
+
+    #: Pending PAUSE/RESUME frames live in the engine calendar (they are
+    #: scheduled events), so the gate itself only carries its occupancy
+    #: and XOFF/XON machine state.
+    SNAPSHOT_ATTRS = ("engine", "network", "node", "in_port", "pclass",
+                      "upstream_port", "upstream_label",
+                      "upstream_is_switch", "delay_ns", "xoff", "xon",
+                      "capacity", "occupancy", "paused", "paused_since",
+                      "pause_ns", "pause_events", "headroom_drops")
 
     def __init__(self, engine: "Engine", network: "Network", node: str,
                  in_port: int, pclass: int, upstream_port: "Port",
@@ -240,8 +250,10 @@ class PfcGate:
         return span
 
 
-class PfcController:
+class PfcController(Snapshot):
     """Builds and owns every gate in the network; reporting surface."""
+
+    SNAPSHOT_ATTRS = ("engine", "config", "network", "gates")
 
     def __init__(self, engine: "Engine", config: PfcConfig,
                  network: "Network") -> None:

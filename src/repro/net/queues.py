@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Deque, List, Optional
 
 from repro.analysis import sanitize as _sanitize
+from repro.checkpoint.protocol import Snapshot
 from repro.core.scheduler import RankQueue
 from repro.net.packet import Packet
 from repro.trace import hooks as _trace_hooks
@@ -55,7 +56,7 @@ class QueueStats:
         self.last_change_ns = now_ns
 
 
-class SharedBufferPool:
+class SharedBufferPool(Snapshot):
     """Dynamic Threshold shared-buffer management (Choudhury–Hahne).
 
     The paper's switches use static per-port buffers; shared-memory
@@ -64,6 +65,8 @@ class SharedBufferPool:
     management (§5) — this pool implements the classic DT policy so the
     ablation benches can compare both regimes.
     """
+
+    SNAPSHOT_ATTRS = ("total_bytes", "alpha", "used_bytes")
 
     def __init__(self, total_bytes: int, alpha: float = 1.0) -> None:
         if total_bytes <= 0:
@@ -98,8 +101,11 @@ class SharedBufferPool:
         self.total_bytes += extra_bytes
 
 
-class _BoundedQueue:
+class _BoundedQueue(Snapshot):
     """Shared byte accounting and ECN marking for both queue flavours."""
+
+    SNAPSHOT_ATTRS = ("capacity_bytes", "ecn_threshold_bytes", "pool",
+                      "bytes", "stats", "label", "mark_hook")
 
     def __init__(self, capacity_bytes: int,
                  ecn_threshold_bytes: Optional[int] = None,
@@ -179,6 +185,8 @@ class _BoundedQueue:
 class DropTailQueue(_BoundedQueue):
     """FIFO output queue with optional DCTCP-style ECN marking."""
 
+    SNAPSHOT_ATTRS = _BoundedQueue.SNAPSHOT_ATTRS + ("_fifo",)
+
     def __init__(self, capacity_bytes: int,
                  ecn_threshold_bytes: Optional[int] = None,
                  pool: Optional[SharedBufferPool] = None) -> None:
@@ -212,6 +220,8 @@ class DropTailQueue(_BoundedQueue):
 
 class RankedQueue(_BoundedQueue):
     """SRPT output queue ordered by the packets' RFS rank."""
+
+    SNAPSHOT_ATTRS = _BoundedQueue.SNAPSHOT_ATTRS + ("_ranked",)
 
     def __init__(self, capacity_bytes: int,
                  ecn_threshold_bytes: Optional[int] = None,
@@ -257,7 +267,7 @@ class RankedQueue(_BoundedQueue):
         return [packet for _, packet in self._ranked.items()]
 
 
-class ClassLaneQueue:
+class ClassLaneQueue(Snapshot):
     """N per-priority-class lanes behind the single-queue interface.
 
     Each lane is a full :class:`DropTailQueue` or :class:`RankedQueue`;
@@ -270,6 +280,8 @@ class ClassLaneQueue:
     """
 
     __slots__ = ("lanes", "num_classes", "_label")
+
+    SNAPSHOT_ATTRS = ("lanes", "num_classes", "_label")
 
     def __init__(self, lanes) -> None:
         lanes = list(lanes)

@@ -26,6 +26,12 @@ a regression trajectory:
    events, and the wall-clock speedup over the packet-mode run from
    step 2, plus a digest-determinism check (the same hybrid config run
    twice, serially and in a worker process, must produce one digest).
+6. **Checkpoint overhead** — the sweep-length reference run with
+   in-run checkpointing (:mod:`repro.checkpoint`) at the documented
+   cadence (one snapshot mid-run, i.e. every few wall-seconds) vs the
+   same run with checkpointing off, plus the standalone cost and
+   payload size of a single snapshot.  The overhead percentage is the
+   number the ≤5 % acceptance bar tracks.
 
 ``--quick`` shrinks every measurement for CI smoke use; ``--profile``
 prints the top of a cProfile run over the experiment for hot-path work.
@@ -165,6 +171,71 @@ def measure_hybrid(sim_time_ns: int,
     }
 
 
+def measure_checkpoint(sim_time_ns: int) -> Dict[str, object]:
+    """Wall-clock cost of in-run checkpointing at the documented cadence.
+
+    Runs the reference experiment with checkpointing off, then with an
+    epoch interval of half the simulated horizon — one mid-run snapshot,
+    matching the EXPERIMENTS.md guidance of a snapshot every few wall
+    seconds — and reports the relative overhead.  A standalone
+    snapshot of the half-way world is also timed so the per-write cost
+    and payload size are tracked independently of the cadence chosen.
+    """
+    import tempfile
+
+    from repro.checkpoint import CheckpointConfig, peek_header
+    from repro.experiments.digest import config_digest
+
+    every_ns = sim_time_ns // 2
+    with tempfile.TemporaryDirectory(prefix="perf-ckpt-") as tmp:
+        def plain_run() -> float:
+            start = time.perf_counter()
+            run_experiment(reference_config(sim_time_ns=sim_time_ns))
+            return time.perf_counter() - start
+
+        box: Dict[str, object] = {}
+
+        def ticked_run() -> float:
+            config = reference_config(sim_time_ns=sim_time_ns)
+            config.checkpoint = CheckpointConfig(every_ns=every_ns,
+                                                 directory=tmp)
+            start = time.perf_counter()
+            result = run_experiment(config)
+            wall = time.perf_counter() - start
+            box["written"] = result.checkpoint["checkpoints_written"]
+            return wall
+
+        plain = _best_of(plain_run, 2)
+        ticked = _best_of(ticked_run, 2)
+
+        # Standalone single-snapshot cost at the half-way state.
+        from repro.experiments.runner import (_build_world,
+                                              _write_world_checkpoint)
+        config = reference_config(sim_time_ns=sim_time_ns)
+        config.checkpoint = CheckpointConfig(every_ns=every_ns,
+                                             directory=tmp)
+        digest = config_digest(config)
+        path = config.checkpoint.resolve_path(digest)
+        world = _build_world(config)
+        world.engine.run(until=every_ns)
+        start = time.perf_counter()
+        _write_world_checkpoint(world, path, digest)
+        write_wall = time.perf_counter() - start
+        payload = peek_header(path)["payload_bytes"]
+
+    return {
+        "sim_ms": sim_time_ns // MILLISECOND,
+        "every_ms": every_ns // MILLISECOND,
+        "plain_wall_s": round(plain, 3),
+        "checkpointed_wall_s": round(ticked, 3),
+        "checkpoints_written": box["written"],
+        "overhead_pct": round(100.0 * (ticked - plain) / plain, 1)
+            if plain else None,
+        "snapshot_wall_s": round(write_wall, 3),
+        "snapshot_payload_bytes": payload,
+    }
+
+
 def measure_sweep(jobs: int, sim_time_ns: int,
                   points: Sequence = SWEEP_POINTS) -> Dict[str, object]:
     """Reference sweep wall time, serial then with ``jobs`` workers."""
@@ -298,7 +369,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "cpus": os.cpu_count(),
     }
 
-    print(f"[1/5] kernel: {n_events} events x {args.repeats} repeats ...",
+    print(f"[1/6] kernel: {n_events} events x {args.repeats} repeats ...",
           file=sys.stderr)
     event_path = _best_of(lambda: time_kernel(n_events, fast=False),
                           args.repeats)
@@ -310,7 +381,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "fast_path_events_per_sec": round(n_events / fast_path),
     }
 
-    print("[2/5] reference experiment ...", file=sys.stderr)
+    print("[2/6] reference experiment ...", file=sys.stderr)
     report["experiment"] = measure_experiment(exp_sim_ns)
 
     if args.trace_overhead:
@@ -332,7 +403,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.skip_sweep:
         report["sweep"] = None
     else:
-        print(f"[3/5] reference sweep, serial vs --jobs {jobs} ...",
+        print(f"[3/6] reference sweep, serial vs --jobs {jobs} ...",
               file=sys.stderr)
         points = SWEEP_POINTS[:4] if quick else SWEEP_POINTS
         sweep = measure_sweep(jobs, sweep_sim_ns, points)
@@ -345,13 +416,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 "digest-equality tests to validate the parallel path")
         report["sweep"] = sweep
 
-    print("[4/5] static analyzer over src (cold + cache-warm) ...",
+    print("[4/6] static analyzer over src (cold + cache-warm) ...",
           file=sys.stderr)
     report["lint"] = measure_lint()
 
-    print("[5/5] hybrid-fidelity reference experiment ...", file=sys.stderr)
+    print("[5/6] hybrid-fidelity reference experiment ...", file=sys.stderr)
     report["hybrid"] = measure_hybrid(exp_sim_ns,
                                       report["experiment"]["wall_s"])
+
+    print("[6/6] checkpoint overhead (sweep-length run) ...",
+          file=sys.stderr)
+    report["checkpoint"] = measure_checkpoint(sweep_sim_ns)
 
     if args.profile:
         print(profile_experiment(exp_sim_ns))
@@ -384,6 +459,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     print(f"lint: {lint_report['files']} files, "
           f"{lint_report['cold_wall_s']}s cold, "
           f"{lint_report['warm_wall_s']}s cache-warm")
+
+    ckpt_report = report["checkpoint"]
+    print(f"checkpoint: {ckpt_report['plain_wall_s']}s off -> "
+          f"{ckpt_report['checkpointed_wall_s']}s on "
+          f"({ckpt_report['overhead_pct']:+.1f}% at every "
+          f"{ckpt_report['every_ms']} sim-ms; one snapshot "
+          f"{ckpt_report['snapshot_wall_s']}s, "
+          f"{ckpt_report['snapshot_payload_bytes'] // 1024} KiB)")
 
     if args.trace_overhead and "trace_overhead" in report:
         for level, numbers in report["trace_overhead"].items():

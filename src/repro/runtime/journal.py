@@ -152,6 +152,10 @@ class SweepJournal:
             "error": error,
             "run_digest": run_digest(result) if result is not None else None,
             "payload": encode_result(result) if result is not None else None,
+            # Checkpoint lineage: {"restored_from_ns", "checkpoints_written",
+            # "path"} when the run was checkpointed or restored, else None.
+            "checkpoint": getattr(result, "checkpoint", None)
+            if result is not None else None,
         }
         self._append(entry)
         self.entries[digest] = entry

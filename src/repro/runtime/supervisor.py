@@ -39,6 +39,7 @@ whether they ran serially, in a worker, or were reloaded from a journal.
 from __future__ import annotations
 
 import contextlib
+import math
 import os
 import signal
 import threading
@@ -50,6 +51,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.analysis import sanitize as _sanitize
+from repro.checkpoint.runtime import install_worker_handlers
+from repro.checkpoint.store import RunPreempted, read_progress
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.digest import config_digest, sweep_digest
 from repro.experiments.parallel import _run_portable, _worker_init, resolve_jobs
@@ -70,10 +73,12 @@ def _supervised_worker_init(sanitize_on: bool) -> None:
     teardown — the executor SIGTERMs surviving workers when one dies —
     print a spurious ``KeyboardInterrupt`` traceback per worker.  Reset
     to ignore SIGINT (the supervisor owns interrupt handling and reaps
-    workers itself) and default SIGTERM (die quietly).
+    workers itself); SIGTERM gets the checkpoint-aware worker handler —
+    a run in flight latches a preemption request (checkpoint-then-exit
+    at the next epoch boundary), an idle worker dies quietly as before.
     """
     signal.signal(signal.SIGINT, signal.SIG_IGN)
-    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    install_worker_handlers()
     _worker_init(sanitize_on)
 
 
@@ -91,6 +96,14 @@ class RunOutcome:
     result: Optional[RunResult] = None
     #: True when the result was reloaded from a journal, not re-run.
     resumed: bool = False
+    #: True when the progress watchdog saw the simulated clock stop
+    #: advancing for longer than ``stall_timeout_s`` (flag, not a kill).
+    stalled: bool = False
+    #: Last simulated timestamp / event count the run was known to have
+    #: reached (from its checkpoint progress sidecar); None when the run
+    #: completed normally or was never checkpointed.
+    last_sim_ns: Optional[int] = None
+    last_events: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.status not in RUN_STATUSES:
@@ -143,6 +156,8 @@ class SweepReport:
             "resumed": sum(1 for o in self.outcomes if o.resumed),
             "interrupted": self.interrupted,
             "counts": counts,
+            "stalls": [outcome.index for outcome in self.outcomes
+                       if outcome.stalled],
             "failures": [{
                 "index": outcome.index,
                 "digest": outcome.digest,
@@ -151,6 +166,9 @@ class SweepReport:
                 "error": outcome.error,
                 "seed": outcome.config.seed,
                 "system": outcome.config.system.name,
+                "last_sim_ns": outcome.last_sim_ns,
+                "last_events": outcome.last_events,
+                "stalled": outcome.stalled,
             } for outcome in self.failures()],
         }
 
@@ -190,33 +208,66 @@ class SweepReport:
         ])
 
 
-class _Watchdog(threading.Thread):
-    """Deadline enforcement for in-flight runs.
+@dataclass
+class _Watch:
+    """Watchdog bookkeeping for one in-flight future."""
 
-    Scans the watched futures a few times a second; when one overshoots
-    its deadline the watchdog marks it timed out and SIGKILLs the worker
-    pool (the only portable way to reclaim a stuck worker), letting the
-    supervisor's crash path rebuild the pool and classify the victims.
+    deadline: float                        # math.inf = no deadline
+    progress_path: Optional[str] = None    # checkpoint path (stall probe)
+    grace_until: Optional[float] = None    # SIGTERM sent; SIGKILL at this
+    last_sim: Optional[int] = None         # last observed simulated clock
+    last_change: float = 0.0               # wall time of last advance
+
+
+class _Watchdog(threading.Thread):
+    """Deadline enforcement and stall detection for in-flight runs.
+
+    Scans the watched futures a few times a second.  A run overshooting
+    its deadline is marked timed out and the pool is **soft-killed**
+    (SIGTERM): checkpointed runs write a final checkpoint and exit
+    gracefully (:class:`RunPreempted`), preserving their progress.  A
+    worker that still has not yielded after ``grace_s`` is SIGKILLed —
+    the only portable way to reclaim a truly stuck process — and the
+    supervisor's crash path rebuilds the pool and classifies the
+    victims.
+
+    With ``stall_timeout_s`` set, the watchdog also polls each run's
+    checkpoint progress sidecar; a simulated clock that stops advancing
+    for that long flags the run as **stalled** (surfaced in the outcome
+    and failure manifest — a flag, never a kill, since a stalled clock
+    with wall progress may be a legitimately heavy epoch).
     """
 
     def __init__(self, kill_workers: Callable[[], None],
+                 soft_kill: Callable[[], None], *,
+                 grace_s: float = 5.0,
+                 stall_timeout_s: Optional[float] = None,
                  poll_s: float = 0.05) -> None:
         super().__init__(name="repro-sweep-watchdog", daemon=True)
         self._kill_workers = kill_workers
+        self._soft_kill = soft_kill
+        self._grace_s = grace_s
+        self._stall_timeout_s = stall_timeout_s
         self._poll_s = poll_s
         self._lock = threading.Lock()
-        self._watched: Dict[object, float] = {}  # future -> deadline
+        self._watched: Dict[object, _Watch] = {}
         self._timed_out: set = set()
+        self._stalled: set = set()
         # NB: not named _stop — that would shadow Thread._stop(), which
         # threading._after_fork() calls inside forked worker processes.
         self._halt = threading.Event()
-        #: Number of kill sweeps performed (read by the supervisor to
-        #: tell collateral pool victims from genuine crashes).
+        #: Number of kill sweeps performed, soft or hard (read by the
+        #: supervisor to tell collateral pool victims from genuine
+        #: crashes).
         self.kills = 0
 
-    def watch(self, future, deadline: float) -> None:
+    def watch(self, future, deadline: float,
+              progress_path: Optional[str] = None) -> None:
+        now = time.monotonic()  # noqa: VR002 - harness wall clock
         with self._lock:
-            self._watched[future] = deadline
+            self._watched[future] = _Watch(deadline=deadline,
+                                           progress_path=progress_path,
+                                           last_change=now)
 
     def unwatch(self, future) -> None:
         with self._lock:
@@ -226,21 +277,57 @@ class _Watchdog(threading.Thread):
         with self._lock:
             return future in self._timed_out
 
+    def was_stalled(self, future) -> bool:
+        with self._lock:
+            return future in self._stalled
+
     def stop(self) -> None:
         self._halt.set()
+
+    def _probe_stall(self, future, watch: _Watch, now: float) -> None:
+        if self._stall_timeout_s is None or watch.progress_path is None:
+            return
+        progress = read_progress(watch.progress_path)
+        sim_now = progress.get("sim_now_ns") if progress else None
+        if sim_now != watch.last_sim:
+            watch.last_sim = sim_now
+            watch.last_change = now
+        elif now - watch.last_change >= self._stall_timeout_s:
+            with self._lock:
+                self._stalled.add(future)
 
     def run(self) -> None:
         while not self._halt.wait(self._poll_s):
             now = time.monotonic()  # noqa: VR002 - harness wall clock
-            overdue = []
             with self._lock:
-                for future, deadline in self._watched.items():
-                    if now >= deadline and not future.done():
-                        overdue.append(future)
-                for future in overdue:
-                    self._timed_out.add(future)
-                    del self._watched[future]
+                scan = list(self._watched.items())
+            overdue = []
+            expired = []
+            for future, watch in scan:
+                if future.done():
+                    continue
+                self._probe_stall(future, watch, now)
+                if watch.grace_until is not None:
+                    if now >= watch.grace_until:
+                        expired.append(future)
+                elif now >= watch.deadline:
+                    overdue.append(future)
             if overdue:
+                with self._lock:
+                    for future in overdue:
+                        self._timed_out.add(future)
+                        watch = self._watched.get(future)
+                        if watch is not None:
+                            watch.grace_until = now + self._grace_s
+                # Soft kill: ask every worker to checkpoint-then-exit.
+                self.kills += 1
+                self._soft_kill()
+            if expired:
+                with self._lock:
+                    for future in expired:
+                        self._watched.pop(future, None)
+                # Grace elapsed and the worker still has not yielded:
+                # reclaim it the hard way.
                 self.kills += 1
                 self._kill_workers()
 
@@ -311,7 +398,9 @@ class SweepSupervisor:
         self._load_resumed(journal, digests, outcomes)
         pending = [index for index in range(len(self.configs))
                    if index not in outcomes]
-        use_pool = self.jobs > 1 or self.policy.run_timeout_s is not None
+        use_pool = self.jobs > 1 \
+            or self.policy.run_timeout_s is not None \
+            or self.policy.stall_timeout_s is not None
         try:
             with self._trap_signals():
                 try:
@@ -386,6 +475,25 @@ class SweepSupervisor:
         if self.on_outcome is not None:
             self.on_outcome(outcome)
 
+    def _checkpoint_path(self, index: int,
+                         digests: Sequence[str]) -> Optional[str]:
+        """Managed checkpoint path of point ``index``, or None."""
+        checkpoint = self.configs[index].checkpoint
+        if checkpoint is None:
+            return None
+        return checkpoint.resolve_path(digests[index])
+
+    def _last_progress(self, index: int, digests: Sequence[str]):
+        """(sim_now_ns, events_executed) last reported by the run's
+        progress sidecar, or None — failure-manifest provenance."""
+        path = self._checkpoint_path(index, digests)
+        if path is None:
+            return None
+        progress = read_progress(path)
+        if progress is None:
+            return None
+        return (progress.get("sim_now_ns"), progress.get("events_executed"))
+
     @contextlib.contextmanager
     def _trap_signals(self):
         """SIGINT/SIGTERM → stop flag + KeyboardInterrupt (main thread only).
@@ -441,11 +549,14 @@ class SweepSupervisor:
                         error = signature + (" (failed identically twice; "
                                              "not retrying)"
                                              if deterministic else "")
+                        progress = self._last_progress(index, digests)
+                        last_sim, last_events = progress or (None, None)
                         self._record(RunOutcome(
                             index=index, config=self.configs[index],
                             digest=digests[index], status="failed",
                             attempts=attempts, wall_s=round(wall_s, 6),
-                            error=error), outcomes, journal)
+                            error=error, last_sim_ns=last_sim,
+                            last_events=last_events), outcomes, journal)
                         break
                     with profiler.phase("runtime.retry"):
                         self._stop.wait(self.policy.backoff_s(attempts, rng))
@@ -487,6 +598,22 @@ class SweepSupervisor:
             except (ProcessLookupError, PermissionError):
                 continue
 
+    def _soft_kill_workers(self) -> None:
+        """SIGTERM every live pool worker: checkpoint-then-exit request.
+
+        Checkpointed runs latch the preemption flag and yield with
+        :class:`RunPreempted` at their next epoch boundary;
+        un-checkpointed runs in flight latch and run on (aborting would
+        only lose their work — the hard kill reclaims the genuinely
+        stuck one after the grace window); idle workers keep the
+        historical die-on-SIGTERM behaviour.
+        """
+        for pid in self.worker_pids():
+            try:
+                os.kill(pid, signal.SIGTERM)
+            except (ProcessLookupError, PermissionError):
+                continue
+
     def _run_pool(self, pending: List[int], digests: Sequence[str],
                   outcomes: Dict[int, RunOutcome],
                   journal: Optional[SweepJournal],
@@ -500,8 +627,12 @@ class SweepSupervisor:
         queue = deque(pending)
         inflight: Dict[object, _Flight] = {}
         watchdog = None
-        if policy.run_timeout_s is not None:
-            watchdog = _Watchdog(self._kill_workers)
+        if policy.run_timeout_s is not None \
+                or policy.stall_timeout_s is not None:
+            watchdog = _Watchdog(self._kill_workers,
+                                 self._soft_kill_workers,
+                                 grace_s=policy.preempt_grace_s,
+                                 stall_timeout_s=policy.stall_timeout_s)
             watchdog.start()
 
         def requeue(index: int, penalty: bool) -> None:
@@ -511,18 +642,28 @@ class SweepSupervisor:
             queue.append(index)
 
         def finish(index: int, status: str, *, error: Optional[str] = None,
-                   result: Optional[RunResult] = None) -> None:
+                   result: Optional[RunResult] = None,
+                   future: Optional[object] = None) -> None:
+            stalled = watchdog is not None and future is not None \
+                and watchdog.was_stalled(future)
+            last_sim = last_events = None
+            if status != "ok":
+                progress = self._last_progress(index, digests)
+                if progress is not None:
+                    last_sim, last_events = progress
             self._record(RunOutcome(
                 index=index, config=self.configs[index],
                 digest=digests[index], status=status,
                 attempts=attempts[index],
                 wall_s=round(wall_acc[index], 6), error=error,
-                result=result), outcomes, journal)
+                result=result, stalled=stalled, last_sim_ns=last_sim,
+                last_events=last_events), outcomes, journal)
 
         try:
             while (queue or inflight) and not self._stop.is_set():
                 now = time.monotonic()  # noqa: VR002 - harness wall clock
-                self._submit_ready(queue, inflight, not_before, now, watchdog)
+                self._submit_ready(queue, inflight, not_before, now, watchdog,
+                                   digests)
                 if not inflight:
                     # Everything runnable is backing off; wait the gap out.
                     gap = min((not_before[index] for index in queue),
@@ -560,19 +701,72 @@ class SweepSupervisor:
                                 finish(index, "timeout", error=(
                                     f"exceeded --run-timeout "
                                     f"{policy.run_timeout_s:g}s "
-                                    f"({attempts[index]} attempt(s))"))
+                                    f"({attempts[index]} attempt(s))"),
+                                    future=future)
                             else:
                                 requeue(index, penalty=True)
                         else:
                             if attempts[index] > policy.max_retries:
                                 finish(index, "crashed", error=(
                                     f"worker process died "
-                                    f"({attempts[index]} attempt(s))"))
+                                    f"({attempts[index]} attempt(s))"),
+                                    future=future)
                             else:
                                 requeue(index, penalty=True)
-                    except Exception as exc:
+                    except RunPreempted:
+                        # The worker checkpointed and yielded gracefully.
+                        timed_out = watchdog is not None \
+                            and watchdog.was_timed_out(future)
+                        if timed_out:
+                            wall_acc[index] += run_wall
+                            attempts[index] += 1
+                            profiler.add("runtime.timeout", run_wall)
+                            if attempts[index] > policy.max_retries:
+                                finish(index, "timeout", error=(
+                                    f"exceeded --run-timeout "
+                                    f"{policy.run_timeout_s:g}s "
+                                    f"({attempts[index]} attempt(s); "
+                                    f"checkpoint retained)"),
+                                    future=future)
+                            else:
+                                # The retry auto-resumes from the
+                                # checkpoint just written, so the
+                                # deadline now bounds *incremental*
+                                # progress per attempt.
+                                requeue(index, penalty=True)
+                        else:
+                            # Innocent bystander of a soft-kill sweep
+                            # aimed at another run: its checkpoint
+                            # preserves all progress; resume free.
+                            requeue(index, penalty=False)
+                    except (SystemExit, Exception) as exc:
+                        # SystemExit: concurrent.futures ships worker
+                        # BaseExceptions back through the future — the
+                        # worker SIGTERM handler's exit lands here when
+                        # the signal interrupts a task that is not a
+                        # checkpointed run (custom runners).
+                        timed_out = watchdog is not None \
+                            and watchdog.was_timed_out(future)
+                        if not timed_out and isinstance(exc, SystemExit) \
+                                and watchdog is not None \
+                                and watchdog.kills > flight.kills_at_submit:
+                            # Terminated by a soft-kill sweep aimed at
+                            # another run: retry without penalty.
+                            requeue(index, penalty=False)
+                            continue
                         wall_acc[index] += run_wall
                         attempts[index] += 1
+                        if timed_out:
+                            profiler.add("runtime.timeout", run_wall)
+                            if attempts[index] > policy.max_retries:
+                                finish(index, "timeout", error=(
+                                    f"exceeded --run-timeout "
+                                    f"{policy.run_timeout_s:g}s "
+                                    f"({attempts[index]} attempt(s))"),
+                                    future=future)
+                            else:
+                                requeue(index, penalty=True)
+                            continue
                         signature = f"{type(exc).__name__}: {exc}"
                         deterministic = \
                             last_signature.get(index) == signature
@@ -582,13 +776,14 @@ class SweepSupervisor:
                             error = signature + (
                                 " (failed identically twice; not retrying)"
                                 if deterministic else "")
-                            finish(index, "failed", error=error)
+                            finish(index, "failed", error=error,
+                                   future=future)
                         else:
                             requeue(index, penalty=True)
                     else:
                         wall_acc[index] += run_wall
                         attempts[index] += 1
-                        finish(index, "ok", result=result)
+                        finish(index, "ok", result=result, future=future)
         except KeyboardInterrupt:
             self._stop.set()
             raise
@@ -602,7 +797,8 @@ class SweepSupervisor:
 
     def _submit_ready(self, queue: deque, inflight: Dict[object, _Flight],
                       not_before: Dict[int, float], now: float,
-                      watchdog: Optional[_Watchdog]) -> None:
+                      watchdog: Optional[_Watchdog],
+                      digests: Sequence[str]) -> None:
         """Fill free pool slots with runs whose backoff has elapsed."""
         while queue and len(inflight) < self.jobs:
             index = None
@@ -628,7 +824,10 @@ class SweepSupervisor:
             inflight[future] = _Flight(index=index, started=now,
                                        kills_at_submit=kills)
             if watchdog is not None:
-                watchdog.watch(future, now + self.policy.run_timeout_s)
+                deadline = now + self.policy.run_timeout_s \
+                    if self.policy.run_timeout_s is not None else math.inf
+                watchdog.watch(future, deadline,
+                               self._checkpoint_path(index, digests))
 
 
 def run_supervised(configs: Iterable[ExperimentConfig], *,

@@ -30,6 +30,7 @@ import itertools
 import random
 from typing import Callable, List, Optional, Tuple
 
+from repro.checkpoint.protocol import Snapshot
 from repro.metrics.collector import MetricsCollector
 from repro.sim.engine import Engine
 from repro.sim.units import SECOND
@@ -51,8 +52,40 @@ def cps_for_load(load: float, n_hosts: int, host_rate_bps: int,
     return load * n_hosts * host_rate_bps / coflow_bits  # noqa: VR003
 
 
-class CoflowApp:
+class _StageBarrier(Snapshot):
+    """Countdown barrier releasing the next stage of one coflow.
+
+    A picklable stand-in for the per-stage ``flow_done`` closure: it
+    rides in flow ``on_done`` callbacks (and the engine calendar) and
+    must survive a checkpoint mid-stage.
+    """
+
+    __slots__ = ("app", "coflow_id", "members", "stage", "remaining")
+
+    SNAPSHOT_ATTRS = ("app", "coflow_id", "members", "stage", "remaining")
+
+    def __init__(self, app: "CoflowApp", coflow_id: int, members,
+                 stage: int, remaining: int) -> None:
+        self.app = app
+        self.coflow_id = coflow_id
+        self.members = members
+        self.stage = stage
+        self.remaining = remaining
+
+    def __call__(self, flow_id: int) -> None:
+        self.remaining -= 1
+        if self.remaining == 0 and self.stage + 1 < self.app._n_barriers:
+            self.app._start_stage(self.coflow_id, self.members,
+                                  self.stage + 1)
+
+
+class CoflowApp(Snapshot):
     """Poisson coflow generator with stage barriers."""
+
+    SNAPSHOT_ATTRS = ("engine", "open_flow", "metrics", "n_hosts", "cps",
+                      "width", "stages", "pattern", "flow_bytes", "rng",
+                      "until_ns", "request_delay_ns", "matrix",
+                      "coflows_launched", "_coflow_ids", "_mean_gap_ns")
 
     def __init__(self, engine: Engine, open_flow: FlowOpener,
                  metrics: MetricsCollector, n_hosts: int, cps: float,
@@ -145,13 +178,8 @@ class CoflowApp:
         if _TRACE is not None:
             _TRACE.coflow_stage(self.engine.now, coflow_id, stage,
                                 len(pairs))
-        remaining = [len(pairs)]
-
-        def flow_done(flow_id: int) -> None:
-            remaining[0] -= 1
-            if remaining[0] == 0 and stage + 1 < self._n_barriers:
-                self._start_stage(coflow_id, members, stage + 1)
-
+        flow_done = _StageBarrier(self, coflow_id, members, stage,
+                                  len(pairs))
         for src, dst in pairs:
             # Flows start after the stage-coordination latency, with a
             # small per-flow jitter from OS scheduling (incast idiom).

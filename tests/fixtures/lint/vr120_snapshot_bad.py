@@ -1,0 +1,22 @@
+"""VR120 bad (checkpoint coverage): a Snapshot class assigns a mutable
+attribute its SNAPSHOT_ATTRS never declares — after a checkpoint
+restore the attribute is silently gone.
+"""
+
+
+class Snapshot:
+    SNAPSHOT_ATTRS = ()
+
+
+class AckCounter(Snapshot):
+    SNAPSHOT_ATTRS = Snapshot.SNAPSHOT_ATTRS + ("engine", "acks")
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.acks = 0
+        self.window_marked = 0  # not in SNAPSHOT_ATTRS: lost on restore
+
+    def on_ack(self, marked):
+        self.acks += 1
+        if marked:
+            self.window_marked += 1

@@ -1,0 +1,28 @@
+"""VR120 good (checkpoint coverage): every assigned attribute is
+declared in SNAPSHOT_ATTRS, own or inherited."""
+
+
+class Snapshot:
+    SNAPSHOT_ATTRS = ()
+
+
+class BaseCounter(Snapshot):
+    SNAPSHOT_ATTRS = ("engine",)
+
+    def __init__(self, engine):
+        self.engine = engine
+
+
+class AckCounter(BaseCounter):
+    SNAPSHOT_ATTRS = BaseCounter.SNAPSHOT_ATTRS + ("acks",
+                                                   "window_marked")
+
+    def __init__(self, engine):
+        super().__init__(engine)
+        self.acks = 0
+        self.window_marked = 0
+
+    def on_ack(self, marked):
+        self.acks += 1
+        if marked:
+            self.window_marked += 1

@@ -1,0 +1,222 @@
+"""Checkpoint/restore end-to-end: kill, resume, and digest identity.
+
+The acceptance bar: a run SIGKILLed mid-flight and resumed from its
+checkpoint must produce a digest byte-identical to the same run left
+uninterrupted — under packet and hybrid fidelity, serially and through
+the pooled supervisor.  Checkpointing itself must be invisible: digests
+with checkpointing on equal digests with it off.
+
+Serial kill tests fork a child (fork start method: the child inherits
+the built config without pickling) and SIGKILL it once the progress
+sidecar shows the simulated clock past the halfway mark.  Pool tests
+use a self-killing runner coordinated through ``REPRO_TEST_FLAG_DIR``
+flag files, like the supervisor suite.
+"""
+
+import dataclasses
+import multiprocessing
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.checkpoint import CheckpointConfig, read_progress
+from repro.experiments import run_experiment, run_many
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.digest import config_digest, run_digest
+from repro.experiments.parallel import _run_portable
+from repro.runtime import SupervisorPolicy, run_supervised
+from repro.sim.units import MILLISECOND
+
+FAST_BACKOFF = {"backoff_base_s": 0.02, "backoff_cap_s": 0.1}
+
+
+def _config(fidelity="packet", seed=7, sim_ms=40):
+    config = ExperimentConfig.bench_profile(
+        system="vertigo", transport="dctcp", bg_load=0.2,
+        incast_qps=60, incast_scale=6, sim_time_ns=sim_ms * MILLISECOND,
+        seed=seed)
+    config.fidelity = dataclasses.replace(config.fidelity, mode=fidelity)
+    return config
+
+
+def _checkpointed(config, directory, every_ms=10):
+    config.checkpoint = CheckpointConfig.every_ms(every_ms,
+                                                  directory=str(directory))
+    return config
+
+
+def _managed_path(config):
+    return config.checkpoint.resolve_path(config_digest(config))
+
+
+def _reference_digest(fidelity):
+    return run_digest(run_experiment(_config(fidelity)))
+
+
+# -- checkpointing is invisible ------------------------------------------------
+
+
+@pytest.mark.parametrize("fidelity", ["packet", "hybrid"])
+def test_checkpoint_on_digest_equals_checkpoint_off(tmp_path, fidelity):
+    plain = run_experiment(_config(fidelity))
+    ticked = run_experiment(_checkpointed(_config(fidelity), tmp_path))
+    assert run_digest(ticked) == run_digest(plain)
+    assert ticked.checkpoint["checkpoints_written"] >= 3
+    assert ticked.checkpoint["restored_from_ns"] is None
+    # The managed checkpoint is consumed on successful completion.
+    assert not os.path.exists(_managed_path(_checkpointed(_config(fidelity),
+                                                          tmp_path)))
+
+
+# -- SIGKILL then restore, serial ----------------------------------------------
+
+
+def _kill_child_at_half(config, path):
+    """Fork a child running ``config``; SIGKILL it past ~50% sim time."""
+    half = config.sim_time_ns // 2
+    child = multiprocessing.get_context("fork").Process(
+        target=run_experiment, args=(config,))
+    child.start()
+    try:
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            progress = read_progress(path)
+            if progress and progress["sim_now_ns"] >= half:
+                break
+            if not child.is_alive():
+                raise AssertionError("child finished before the kill — "
+                                     "sim too small or checkpoints too slow")
+            time.sleep(0.005)
+        else:
+            raise AssertionError("child never reached the halfway mark")
+    finally:
+        if child.is_alive():
+            os.kill(child.pid, signal.SIGKILL)
+        child.join()
+    assert child.exitcode == -signal.SIGKILL
+
+
+@pytest.mark.parametrize("fidelity", ["packet", "hybrid"])
+def test_sigkill_then_restore_matches_uninterrupted(tmp_path, fidelity):
+    config = _checkpointed(_config(fidelity), tmp_path)
+    path = _managed_path(config)
+    _kill_child_at_half(config, path)
+    assert os.path.exists(path)
+
+    resumed = run_experiment(_checkpointed(_config(fidelity), tmp_path))
+    assert resumed.checkpoint["restored_from_ns"] is not None
+    assert resumed.checkpoint["restored_from_ns"] > 0
+    assert run_digest(resumed) == _reference_digest(fidelity)
+    # Consumed after the successful resume: a fresh run starts clean.
+    assert not os.path.exists(path)
+
+
+def test_explicit_restore_flag_equivalent(tmp_path):
+    config = _checkpointed(_config("packet"), tmp_path)
+    path = _managed_path(config)
+    _kill_child_at_half(config, path)
+    resumed = run_experiment(_checkpointed(_config("packet"), tmp_path),
+                             restore=path)
+    assert run_digest(resumed) == _reference_digest("packet")
+
+
+def test_restore_rejects_foreign_config(tmp_path):
+    config = _checkpointed(_config("packet"), tmp_path)
+    path = _managed_path(config)
+    _kill_child_at_half(config, path)
+    from repro.checkpoint import CheckpointError
+    other = _checkpointed(_config("packet", seed=8), tmp_path)
+    with pytest.raises(CheckpointError, match="belongs to config"):
+        run_experiment(other, restore=path)
+
+
+# -- SIGKILL then restore, pooled supervisor -----------------------------------
+
+
+def _sweep_configs(fidelity, directory, n=2, sim_ms=40):
+    configs = [_checkpointed(_config(fidelity, seed=seed, sim_ms=sim_ms),
+                             directory) for seed in (7, 8)[:n]]
+    return configs
+
+
+def _suicide_after_checkpoint(config):
+    """SIGKILL own worker once a checkpoint exists — first attempt only."""
+    flag = os.path.join(os.environ["REPRO_TEST_FLAG_DIR"],
+                        f"seed{config.seed}")
+    if not os.path.exists(flag):
+        open(flag, "w").close()
+        path = config.checkpoint.resolve_path(config_digest(config))
+
+        def _watch():
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                if os.path.exists(path):
+                    os.kill(os.getpid(), signal.SIGKILL)
+                time.sleep(0.002)
+
+        threading.Thread(target=_watch, daemon=True).start()
+    return _run_portable(config)
+
+
+@pytest.fixture
+def flag_dir(tmp_path_factory, monkeypatch):
+    path = tmp_path_factory.mktemp("flags")
+    monkeypatch.setenv("REPRO_TEST_FLAG_DIR", str(path))
+    return path
+
+
+@pytest.mark.parametrize("fidelity", ["packet", "hybrid"])
+def test_pool_sigkill_resumes_to_reference_digest(flag_dir, tmp_path,
+                                                 fidelity):
+    configs = _sweep_configs(fidelity, tmp_path)
+    reference = [run_digest(r) for r in run_many(
+        [_config(fidelity, seed=seed) for seed in (7, 8)], jobs=1)]
+    policy = SupervisorPolicy(max_retries=2, **FAST_BACKOFF)
+    report = run_supervised(configs, jobs=2, policy=policy,
+                            runner=_suicide_after_checkpoint)
+    assert report.ok, report.manifest()["failures"]
+    assert [run_digest(r) for r in report.results] == reference
+    # At least one run died and came back.
+    assert max(o.attempts for o in report.outcomes) >= 2
+
+
+# -- graceful preemption via --run-timeout -------------------------------------
+
+
+def test_run_timeout_preempts_and_resumes_across_attempts(tmp_path):
+    config = _checkpointed(_config("packet", sim_ms=80), tmp_path,
+                           every_ms=20)
+    policy = SupervisorPolicy(run_timeout_s=0.45, preempt_grace_s=10.0,
+                              max_retries=8, **FAST_BACKOFF)
+    report = run_supervised([config], jobs=1, policy=policy)
+    assert report.ok, report.manifest()["failures"]
+    outcome = report.outcomes[0]
+    assert outcome.attempts >= 2          # at least one preempt-resume cycle
+    assert report.results[0].checkpoint["restored_from_ns"] is not None
+    reference = run_digest(run_experiment(_config("packet", sim_ms=80)))
+    assert run_digest(report.results[0]) == reference
+
+
+# -- stall watchdog ------------------------------------------------------------
+
+
+def _stuck_clock(config):
+    time.sleep(600)
+    return _run_portable(config)
+
+
+def test_stalled_simulated_clock_is_flagged(tmp_path):
+    config = _checkpointed(_config("packet"), tmp_path)
+    policy = SupervisorPolicy(run_timeout_s=1.0, stall_timeout_s=0.2,
+                              preempt_grace_s=0.2, max_retries=0,
+                              **FAST_BACKOFF)
+    report = run_supervised([config], jobs=1, policy=policy,
+                            runner=_stuck_clock)
+    assert not report.ok
+    manifest = report.manifest()
+    assert manifest["stalls"] == [0]
+    assert report.outcomes[0].stalled
+    assert report.outcomes[0].status == "timeout"

@@ -19,6 +19,7 @@ CASES = [
     ("VR110", ["vr110_bad/entry.py", "vr110_bad/helper.py"],
      ["vr110_good/entry.py", "vr110_good/helper.py"]),
     ("VR120", ["vr120_bad.py"], ["vr120_good.py"]),
+    ("VR120", ["vr120_snapshot_bad.py"], ["vr120_snapshot_good.py"]),
     ("VR130", ["vr130_bad.py"], ["vr130_good.py"]),
     ("VR140", ["vr140_bad.py"], ["vr140_good.py"]),
     ("VR150", ["vr150_bad.py"], ["vr150_good.py"]),
@@ -66,6 +67,16 @@ def test_vr120_names_both_kinds_of_state():
     messages = "\n".join(v.message for v in hits)
     assert "SEEN_FLOWS" in messages
     assert "generation" in messages
+
+
+def test_vr120_snapshot_coverage_names_the_missing_attribute():
+    hits = findings("VR120", ["vr120_snapshot_bad.py"])
+    messages = "\n".join(v.message for v in hits)
+    assert "window_marked" in messages
+    assert "SNAPSHOT_ATTRS" in messages
+    # Declared attributes — own and inherited — never fire.
+    assert "'self.acks'" not in messages
+    assert "'self.engine'" not in messages
 
 
 def test_vr130_flags_lambda_and_bound_method():

@@ -107,3 +107,59 @@ def test_interleaved_operations_stay_consistent():
             assert rank == max(shadow)
             shadow.remove(rank)
         assert len(queue) == len(shadow)
+
+
+def test_dead_entries_do_not_accumulate():
+    # Lazy-deleted twins must be compacted away: a switch queue that
+    # only ever pops min would otherwise retain every packet it ever
+    # forwarded in the max heap, growing memory (and checkpoint
+    # payloads) linearly with history.
+    queue = RankQueue()
+    for step in range(10_000):
+        queue.push(step % 97, step)
+        if step >= 8:  # steady-state occupancy of ~8 entries
+            queue.pop_min()
+    bound = max(RankQueue._COMPACT_FLOOR, 2 * len(queue))
+    assert len(queue._min_heap) <= bound
+    assert len(queue._max_heap) <= bound
+
+
+def test_drained_queue_releases_everything():
+    queue = RankQueue()
+    for rank in range(50):
+        queue.push(rank, object())
+    for _ in range(25):
+        queue.pop_min()
+        queue.pop_max()
+    assert len(queue) == 0
+    assert queue._min_heap == [] and queue._max_heap == []
+    assert queue._dead == set()
+
+
+def test_compaction_preserves_pop_order():
+    # Pop order is a pure function of (rank, seq); the compaction that
+    # rebuilds the heaps must be invisible to callers.
+    import random
+    rng = random.Random(7)
+
+    def drive(queue):
+        out = []
+        for step in range(3_000):
+            if rng.random() < 0.6 or not queue:
+                queue.push(rng.randrange(50), step)
+            elif rng.random() < 0.9:
+                out.append(queue.pop_min())
+            else:
+                out.append(queue.pop_max())
+        while queue:
+            out.append(queue.pop_min())
+        return out
+
+    eager = RankQueue()
+    lazy = RankQueue()
+    lazy._COMPACT_FLOOR = 10 ** 9  # compaction never triggers
+    state = rng.getstate()
+    first = drive(eager)
+    rng.setstate(state)
+    second = drive(lazy)
+    assert first == second
